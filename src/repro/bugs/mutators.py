@@ -1,0 +1,305 @@
+"""Mutation operators that rewrite a single source line.
+
+Every operator takes one line of Verilog and produces zero or more
+:class:`MutationCandidate` objects: the rewritten line, the operator's name,
+its edit kind (``op`` / ``value`` / ``var`` / ``noncond``) and a description.
+The injector decides where to apply them and verifies that the mutated design
+still compiles.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.hdl.source import strip_comment
+
+#: Verilog keywords that must never be treated as signal identifiers.
+_KEYWORDS = frozenset(
+    "module endmodule input output inout wire reg logic integer parameter localparam assign "
+    "always always_ff always_comb initial begin end if else case casez casex endcase default "
+    "for posedge negedge or property endproperty assert assume cover disable iff not signed "
+    "genvar generate endgenerate function endfunction task endtask".split()
+)
+
+_IDENTIFIER = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+_BASED_LITERAL = re.compile(r"(\d+)'([bdhBDH])([0-9a-fA-F_xXzZ?]+)")
+_DECIMAL_LITERAL = re.compile(r"(?<![\w'])(\d+)(?![\w'])")
+
+
+@dataclass(frozen=True)
+class MutationCandidate:
+    """One possible rewrite of a source line."""
+
+    buggy_line: str
+    mutation_name: str
+    edit_kind: str
+    description: str
+
+
+def _mask_literals(code: str) -> str:
+    """Replace based literals (4'd3, 8'hFF, ...) with spaces so identifier scans
+    never pick up their base/digit characters."""
+    return _BASED_LITERAL.sub(lambda m: " " * len(m.group(0)), code)
+
+
+def line_identifiers(line: str) -> list[str]:
+    """Signal-like identifiers appearing on a code line (keywords excluded)."""
+    code = _mask_literals(strip_comment(line))
+    names = []
+    for match in _IDENTIFIER.finditer(code):
+        name = match.group(0)
+        if name in _KEYWORDS or name.isdigit():
+            continue
+        names.append(name)
+    return names
+
+
+# --------------------------------------------------------------------------- #
+# operator mutations
+# --------------------------------------------------------------------------- #
+
+#: (pattern, replacement, name) -- applied once per line where they match.
+_OPERATOR_SWAPS: Sequence[tuple[str, str, str]] = (
+    (r"==", "!=", "op_eq_to_neq"),
+    (r"!=", "==", "op_neq_to_eq"),
+    (r"&&", "||", "op_and_to_or"),
+    (r"\|\|", "&&", "op_or_to_and"),
+    (r"(?<![<>])>=", ">", "op_ge_to_gt"),
+    (r"(?<![<>=!])<(?![<=])", "<=", "op_lt_to_le"),
+    (r"(?<![<>=!\-|])>(?![>=])", ">=", "op_gt_to_ge"),
+    (r"<<", ">>", "op_shl_to_shr"),
+    (r">>", "<<", "op_shr_to_shl"),
+)
+
+#: single-character bitwise swaps need context so they do not hit && / || / ^~.
+_BITWISE_SWAPS: Sequence[tuple[str, str, str]] = (
+    (r"(?<!&)&(?!&)", "|", "op_bitand_to_bitor"),
+    (r"(?<!\|)\|(?!\|)(?!->)(?!=>)", "&", "op_bitor_to_bitand"),
+    (r"\^", "&", "op_xor_to_and"),
+)
+
+_ARITH_SWAPS: Sequence[tuple[str, str, str]] = (
+    (r"(?<![+])\+(?![+:])", "-", "op_plus_to_minus"),
+    (r"(?<![-])-(?![->:])", "+", "op_minus_to_plus"),
+)
+
+
+def _swap_once(line: str, pattern: str, replacement: str) -> str | None:
+    code = strip_comment(line)
+    match = re.search(pattern, code)
+    if match is None:
+        return None
+    comment_tail = line[len(code):]
+    return code[: match.start()] + replacement + code[match.end():] + comment_tail
+
+
+def operator_mutations(line: str) -> Iterable[MutationCandidate]:
+    """Swap comparison, logical, bitwise, shift and arithmetic operators."""
+    seen: set[str] = set()
+    for pattern, replacement, name in (*_OPERATOR_SWAPS, *_ARITH_SWAPS, *_BITWISE_SWAPS):
+        mutated = _swap_once(line, pattern, replacement)
+        if mutated is None or mutated == line or mutated in seen:
+            continue
+        seen.add(mutated)
+        yield MutationCandidate(
+            buggy_line=mutated,
+            mutation_name=name,
+            edit_kind="op",
+            description=f"operator changed ({name.replace('op_', '').replace('_', ' ')})",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# value mutations
+# --------------------------------------------------------------------------- #
+
+
+def _render_based(width: str, base: str, value: int) -> str:
+    base = base.lower()
+    if base == "b":
+        digits = format(value, "b")
+    elif base == "h":
+        digits = format(value, "x")
+    else:
+        digits = str(value)
+    return f"{width}'{base}{digits}"
+
+
+def value_mutations(line: str) -> Iterable[MutationCandidate]:
+    """Perturb numeric literals: off-by-one, zeroing, bit flips, width changes."""
+    code = strip_comment(line)
+    produced: set[str] = set()
+    for match in _BASED_LITERAL.finditer(code):
+        width_text, base, digits = match.group(1), match.group(2), match.group(3)
+        clean = digits.replace("_", "")
+        if any(c in "xXzZ?" for c in clean):
+            continue
+        radix = {"b": 2, "d": 10, "h": 16}[base.lower()]
+        value = int(clean, radix) if clean else 0
+        width = int(width_text)
+        max_value = (1 << width) - 1
+        variants = {value + 1, value - 1, 0, max_value, value ^ 1}
+        for variant in variants:
+            if variant == value or variant < 0 or variant > max_value:
+                continue
+            replacement = _render_based(width_text, base, variant)
+            mutated = code[: match.start()] + replacement + code[match.end():]
+            if mutated in produced:
+                continue
+            produced.add(mutated)
+            yield MutationCandidate(
+                buggy_line=mutated,
+                mutation_name="value_literal_change",
+                edit_kind="value",
+                description=f"constant {match.group(0)} changed to {replacement}",
+            )
+        # A width change is also a Value-class bug per Table I.
+        if width > 1:
+            replacement = _render_based(str(width - 1), base, min(value, (1 << (width - 1)) - 1))
+            mutated = code[: match.start()] + replacement + code[match.end():]
+            if mutated not in produced and mutated != code:
+                produced.add(mutated)
+                yield MutationCandidate(
+                    buggy_line=mutated,
+                    mutation_name="value_width_change",
+                    edit_kind="value",
+                    description=f"literal width of {match.group(0)} shrunk to {width - 1} bits",
+                )
+    for match in _DECIMAL_LITERAL.finditer(code):
+        value = int(match.group(1))
+        if value > 64:
+            continue
+        for variant in (value + 1, max(0, value - 1)):
+            if variant == value:
+                continue
+            mutated = code[: match.start()] + str(variant) + code[match.end():]
+            if mutated in produced:
+                continue
+            produced.add(mutated)
+            yield MutationCandidate(
+                buggy_line=mutated,
+                mutation_name="value_decimal_change",
+                edit_kind="value",
+                description=f"constant {value} changed to {variant}",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# variable mutations
+# --------------------------------------------------------------------------- #
+
+
+def variable_mutations(
+    line: str, in_scope_signals: Sequence[str]
+) -> Iterable[MutationCandidate]:
+    """Replace one referenced signal with a different in-scope signal."""
+    code = strip_comment(line)
+    produced: set[str] = set()
+    identifiers = line_identifiers(code)
+    if not identifiers:
+        return
+    scope = [s for s in in_scope_signals if s not in ("clk",)]
+    # Replace occurrences after the first token when the line is an assignment:
+    # mutating the RHS/condition is far more interesting than renaming the target.
+    assignment = "=" in code
+    for index, name in enumerate(identifiers):
+        if assignment and index == 0:
+            continue
+        for replacement in scope:
+            if replacement == name:
+                continue
+            mutated = re.sub(rf"(?<!')\b{re.escape(name)}\b", replacement, code, count=1)
+            if mutated == code or mutated in produced:
+                continue
+            produced.add(mutated)
+            yield MutationCandidate(
+                buggy_line=mutated,
+                mutation_name="var_substitution",
+                edit_kind="var",
+                description=f"signal '{name}' replaced by '{replacement}'",
+            )
+            break  # one replacement per original identifier keeps the pool balanced
+        if len(produced) >= 4:
+            break
+
+
+# --------------------------------------------------------------------------- #
+# condition-specific mutations
+# --------------------------------------------------------------------------- #
+
+
+def condition_mutations(line: str) -> Iterable[MutationCandidate]:
+    """Negate or un-negate the condition of an ``if`` on this line."""
+    code = strip_comment(line)
+    produced: set[str] = set()
+    match = re.search(r"\bif\s*\(\s*!\s*([A-Za-z_][\w]*)\s*\)", code)
+    if match:
+        mutated = code[: match.start()] + f"if ({match.group(1)})" + code[match.end():]
+        produced.add(mutated)
+        yield MutationCandidate(
+            buggy_line=mutated,
+            mutation_name="cond_drop_negation",
+            edit_kind="op",
+            description=f"negation dropped from the condition on '{match.group(1)}'",
+        )
+    match = re.search(r"\bif\s*\(\s*([A-Za-z_][\w]*)\s*\)", code)
+    if match and f"if (!{match.group(1)})" not in code:
+        mutated = code[: match.start()] + f"if (!{match.group(1)})" + code[match.end():]
+        if mutated not in produced:
+            yield MutationCandidate(
+                buggy_line=mutated,
+                mutation_name="cond_add_negation",
+                edit_kind="op",
+                description=f"condition on '{match.group(1)}' negated",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# assignment-structure mutations
+# --------------------------------------------------------------------------- #
+
+
+def assignment_mutations(line: str) -> Iterable[MutationCandidate]:
+    """Structural edits to an assignment that are none of op/value/var above."""
+    code = strip_comment(line)
+    # Drop one "+ term" from a sum on the right-hand side.
+    match = re.search(r"=\s*([A-Za-z_][\w]*)\s*\+\s*([A-Za-z_][\w]*)\s*;", code)
+    if match:
+        mutated = code[: match.start()] + f"= {match.group(1)};" + code[match.end():]
+        yield MutationCandidate(
+            buggy_line=mutated,
+            mutation_name="assign_drop_term",
+            edit_kind="var",
+            description=f"the '+ {match.group(2)}' term was dropped from the assignment",
+        )
+    # Freeze the register: assign it to itself.
+    match = re.search(r"\b([A-Za-z_][\w]*)\s*<=\s*[^;]+;", code)
+    if match and "<=" in code:
+        target = match.group(1)
+        mutated = code[: match.start()] + f"{target} <= {target};" + code[match.end():]
+        if mutated != code:
+            yield MutationCandidate(
+                buggy_line=mutated,
+                mutation_name="assign_freeze_register",
+                edit_kind="other",
+                description=f"'{target}' reassigned to itself, freezing its value",
+            )
+
+
+def enumerate_mutations(
+    line: str, in_scope_signals: Sequence[str] = ()
+) -> list[MutationCandidate]:
+    """All mutation candidates for one line, across every operator class."""
+    candidates: list[MutationCandidate] = []
+    candidates.extend(operator_mutations(line))
+    candidates.extend(value_mutations(line))
+    candidates.extend(condition_mutations(line))
+    candidates.extend(variable_mutations(line, in_scope_signals))
+    candidates.extend(assignment_mutations(line))
+    unique: dict[str, MutationCandidate] = {}
+    for candidate in candidates:
+        if candidate.buggy_line.strip() and candidate.buggy_line != line:
+            unique.setdefault(candidate.buggy_line, candidate)
+    return list(unique.values())

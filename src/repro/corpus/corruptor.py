@@ -1,0 +1,216 @@
+"""Syntax-error injection for the Verilog-PT pretraining split.
+
+Stage 1 of the paper's pipeline keeps corpus entries that *fail* compilation
+and pairs them with an analysis of the failure; that pair (plus the spec)
+forms the Verilog-PT dataset.  The corruptor manufactures such entries from
+golden designs by introducing realistic syntax/semantic errors, and records
+the ground-truth explanation that the pipeline turns into the "analysis"
+text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hdl.source import SourceFile, strip_comment
+
+
+@dataclass(frozen=True)
+class CorruptedSample:
+    """A deliberately broken source file plus the explanation of the damage."""
+
+    source: str
+    corruption_kind: str
+    line: int
+    explanation: str
+
+
+class SyntaxCorruptor:
+    """Injects compile errors into otherwise valid Verilog source."""
+
+    #: corruption kinds, with weights roughly matching how common each class of
+    #: syntax error is in scraped Verilog corpora.
+    _KINDS = (
+        ("drop_semicolon", 4),
+        ("drop_endmodule", 2),
+        ("unbalanced_begin", 3),
+        ("misspell_keyword", 3),
+        ("undeclared_signal", 4),
+        ("truncate_tail", 2),
+        ("garble_operator", 2),
+    )
+
+    def __init__(self, seed: int = 0):
+        self._random = random.Random(seed)
+
+    def corrupt(self, source: str) -> CorruptedSample:
+        """Return a corrupted variant of ``source`` with its explanation."""
+        kinds = [kind for kind, weight in self._KINDS for _ in range(weight)]
+        self._random.shuffle(kinds)
+        for kind in kinds:
+            sample = self._apply(kind, source)
+            if sample is not None:
+                return sample
+        # Fallback that always works: drop the closing endmodule.
+        return self._drop_endmodule(source) or CorruptedSample(
+            source=source + "\nmodule trailing_garbage(;\n",
+            corruption_kind="trailing_garbage",
+            line=len(source.split("\n")) + 1,
+            explanation="a malformed trailing module header makes the file unparseable",
+        )
+
+    # ------------------------------------------------------------------ #
+    # individual corruptions
+    # ------------------------------------------------------------------ #
+
+    def _apply(self, kind: str, source: str) -> Optional[CorruptedSample]:
+        handlers = {
+            "drop_semicolon": self._drop_semicolon,
+            "drop_endmodule": self._drop_endmodule,
+            "unbalanced_begin": self._unbalanced_begin,
+            "misspell_keyword": self._misspell_keyword,
+            "undeclared_signal": self._undeclared_signal,
+            "truncate_tail": self._truncate_tail,
+            "garble_operator": self._garble_operator,
+        }
+        return handlers[kind](source)
+
+    def _candidate_lines(self, source: str, predicate) -> list[int]:
+        file = SourceFile(source)
+        return [
+            number
+            for number in file.code_line_numbers()
+            if predicate(strip_comment(file.line(number)))
+        ]
+
+    def _drop_semicolon(self, source: str) -> Optional[CorruptedSample]:
+        candidates = self._candidate_lines(source, lambda line: line.rstrip().endswith(";"))
+        if not candidates:
+            return None
+        line_number = self._random.choice(candidates)
+        file = SourceFile(source)
+        original = file.line(line_number)
+        index = original.rfind(";")
+        new_line = original[:index] + original[index + 1 :]
+        return CorruptedSample(
+            source=file.with_line_replaced(line_number, new_line).text,
+            corruption_kind="drop_semicolon",
+            line=line_number,
+            explanation=(
+                f"the statement on line {line_number} is missing its terminating semicolon, "
+                "so the parser cannot tell where the statement ends"
+            ),
+        )
+
+    def _drop_endmodule(self, source: str) -> Optional[CorruptedSample]:
+        if "endmodule" not in source:
+            return None
+        index = source.rfind("endmodule")
+        line = source[:index].count("\n") + 1
+        return CorruptedSample(
+            source=source[:index] + source[index + len("endmodule") :],
+            corruption_kind="drop_endmodule",
+            line=line,
+            explanation="the module is never closed: the final 'endmodule' keyword is missing",
+        )
+
+    def _unbalanced_begin(self, source: str) -> Optional[CorruptedSample]:
+        candidates = self._candidate_lines(
+            source, lambda line: line.strip() == "end" or line.strip().startswith("end ")
+        )
+        if not candidates:
+            return None
+        line_number = self._random.choice(candidates)
+        file = SourceFile(source)
+        original = file.line(line_number)
+        new_line = original.replace("end", "", 1)
+        return CorruptedSample(
+            source=file.with_line_replaced(line_number, new_line).text,
+            corruption_kind="unbalanced_begin",
+            line=line_number,
+            explanation=(
+                f"a begin/end block is unbalanced: the 'end' expected around line {line_number} "
+                "was removed, so a later keyword appears in an illegal position"
+            ),
+        )
+
+    def _misspell_keyword(self, source: str) -> Optional[CorruptedSample]:
+        misspellings = {
+            "always": "alway",
+            "assign": "asign",
+            "posedge": "posege",
+            "endmodule": "endmodul",
+            "module": "modul",
+            "output": "ouput",
+        }
+        keywords = [k for k in misspellings if k in source]
+        if not keywords:
+            return None
+        keyword = self._random.choice(keywords)
+        index = source.find(keyword)
+        line = source[:index].count("\n") + 1
+        corrupted = source[:index] + misspellings[keyword] + source[index + len(keyword) :]
+        return CorruptedSample(
+            source=corrupted,
+            corruption_kind="misspell_keyword",
+            line=line,
+            explanation=(
+                f"the keyword '{keyword}' on line {line} is misspelled as "
+                f"'{misspellings[keyword]}', which the compiler reads as an unexpected identifier"
+            ),
+        )
+
+    def _undeclared_signal(self, source: str) -> Optional[CorruptedSample]:
+        candidates = self._candidate_lines(
+            source, lambda line: "assign" in line and "=" in line
+        )
+        if not candidates:
+            return None
+        line_number = self._random.choice(candidates)
+        file = SourceFile(source)
+        original = file.line(line_number)
+        new_line = original.replace("=", "= undeclared_net_xyz +", 1)
+        return CorruptedSample(
+            source=file.with_line_replaced(line_number, new_line).text,
+            corruption_kind="undeclared_signal",
+            line=line_number,
+            explanation=(
+                f"line {line_number} references the signal 'undeclared_net_xyz' "
+                "which is never declared in the module"
+            ),
+        )
+
+    def _truncate_tail(self, source: str) -> Optional[CorruptedSample]:
+        lines = source.split("\n")
+        if len(lines) < 10:
+            return None
+        cut = self._random.randint(len(lines) // 2, len(lines) - 3)
+        return CorruptedSample(
+            source="\n".join(lines[:cut]),
+            corruption_kind="truncate_tail",
+            line=cut,
+            explanation=(
+                f"the file is truncated after line {cut}; open blocks and the module "
+                "itself are never closed"
+            ),
+        )
+
+    def _garble_operator(self, source: str) -> Optional[CorruptedSample]:
+        candidates = self._candidate_lines(source, lambda line: "<=" in line)
+        if not candidates:
+            return None
+        line_number = self._random.choice(candidates)
+        file = SourceFile(source)
+        original = file.line(line_number)
+        new_line = original.replace("<=", "<==", 1)
+        return CorruptedSample(
+            source=file.with_line_replaced(line_number, new_line).text,
+            corruption_kind="garble_operator",
+            line=line_number,
+            explanation=(
+                f"line {line_number} uses the malformed operator '<==' which is not "
+                "a legal Verilog assignment or comparison operator"
+            ),
+        )

@@ -1,0 +1,92 @@
+"""Data structures describing corpus entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.hdl.source import count_code_lines
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Human-readable description of one port, used for spec generation."""
+
+    name: str
+    direction: str
+    width: int
+    purpose: str
+
+    def render(self) -> str:
+        width_text = "1 bit" if self.width == 1 else f"{self.width} bits"
+        return f"- {self.name} ({self.direction}, {width_text}): {self.purpose}"
+
+
+@dataclass
+class DesignArtifact:
+    """One golden design produced by a corpus template.
+
+    Attributes:
+        name: unique module name.
+        family: template family identifier (e.g. ``"counter"``).
+        source: golden Verilog source (no assertions embedded yet).
+        description: one-sentence functional description.
+        ports: port documentation used to build the specification.
+        behaviour: bullet list of behavioural statements for the specification.
+        template_svas: optional hand-written SVA blocks contributed by the
+            template (each block is property + assert text, ready to indent).
+        parameters: the template parameters that produced this instance.
+    """
+
+    name: str
+    family: str
+    source: str
+    description: str
+    ports: list[PortSpec] = field(default_factory=list)
+    behaviour: list[str] = field(default_factory=list)
+    template_svas: list[str] = field(default_factory=list)
+    parameters: dict[str, int | str] = field(default_factory=dict)
+
+    @property
+    def code_lines(self) -> int:
+        """Number of non-blank, non-comment source lines (Table II length bins)."""
+        return count_code_lines(self.source)
+
+
+#: A template is a callable producing an artifact from (instance name, params).
+TemplateFunction = Callable[..., DesignArtifact]
+
+
+@dataclass(frozen=True)
+class DesignFamily:
+    """A registered design family with its parameter sweep."""
+
+    name: str
+    build: TemplateFunction
+    description: str
+    parameter_grid: tuple[dict[str, int | str], ...]
+
+    def variants(self) -> int:
+        return len(self.parameter_grid)
+
+
+def length_bin(code_lines: int) -> str:
+    """Map a code-line count to the paper's Table II length-bin label."""
+    if code_lines <= 50:
+        return "(0, 50]"
+    if code_lines <= 100:
+        return "(50, 100]"
+    if code_lines <= 150:
+        return "(100, 150]"
+    if code_lines <= 200:
+        return "(150, 200]"
+    return "(200, +inf)"
+
+
+LENGTH_BINS: tuple[str, ...] = (
+    "(0, 50]",
+    "(50, 100]",
+    "(100, 150]",
+    "(150, 200]",
+    "(200, +inf)",
+)

@@ -1,0 +1,1196 @@
+"""Hand-crafted evaluation designs (the reproduction of SVA-Eval-Human).
+
+The paper's human split contains 38 cases derived from the RTLLM benchmark:
+real, human-written RTL with manually planted bugs.  This module provides the
+equivalent: a set of designs written by hand in a style deliberately
+different from the synthetic generator (different naming, different
+formatting, occasional intermediate signals), each with several hand-planted
+bugs described as line replacements.
+
+Each (design, bug) pair becomes one evaluation case after the benchmark
+builder verifies that the bug really triggers an assertion failure -- the
+same validation step the machine-generated cases go through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl.source import SourceFile
+
+
+@dataclass(frozen=True)
+class HumanBug:
+    """One hand-planted bug: replace the line matching ``golden_fragment``."""
+
+    golden_fragment: str
+    buggy_line: str
+    note: str
+    edit_kind: str  # "op" | "value" | "var" | "cond" | "noncond"
+
+
+@dataclass
+class HumanDesign:
+    """One hand-written design with its spec and planted bugs."""
+
+    name: str
+    spec: str
+    source: str
+    bugs: list[HumanBug] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class HumanBugCase:
+    """A fully materialised human-crafted evaluation case."""
+
+    design_name: str
+    spec: str
+    golden_source: str
+    buggy_source: str
+    buggy_line_number: int
+    golden_line: str
+    buggy_line: str
+    note: str
+    edit_kind: str
+
+
+def _materialise(design: HumanDesign) -> list[HumanBugCase]:
+    cases: list[HumanBugCase] = []
+    source_file = SourceFile(design.source)
+    for bug in design.bugs:
+        line_number = source_file.find_line(bug.golden_fragment)
+        if line_number == 0:
+            raise ValueError(
+                f"design '{design.name}': bug fragment not found: {bug.golden_fragment!r}"
+            )
+        golden_line = source_file.line(line_number)
+        buggy_source = source_file.with_line_replaced(line_number, bug.buggy_line).text
+        cases.append(
+            HumanBugCase(
+                design_name=design.name,
+                spec=design.spec,
+                golden_source=design.source,
+                buggy_source=buggy_source,
+                buggy_line_number=line_number,
+                golden_line=golden_line,
+                buggy_line=bug.buggy_line,
+                note=bug.note,
+                edit_kind=bug.edit_kind,
+            )
+        )
+    return cases
+
+
+# --------------------------------------------------------------------------- #
+# the hand-written designs
+# --------------------------------------------------------------------------- #
+
+
+def _design_adder_pipe() -> HumanDesign:
+    source = """\
+module adder_pipe_16 (
+    input  wire        clk,
+    input  wire        rst_n,
+    input  wire        en,
+    input  wire [15:0] opa,
+    input  wire [15:0] opb,
+    output reg  [16:0] sum,
+    output reg         sum_valid
+);
+    reg [15:0] opa_r;
+    reg [15:0] opb_r;
+    reg        stage_valid;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            opa_r <= 16'd0;
+            opb_r <= 16'd0;
+            stage_valid <= 1'b0;
+        end
+        else begin
+            opa_r <= opa;
+            opb_r <= opb;
+            stage_valid <= en;
+        end
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            sum <= 17'd0;
+            sum_valid <= 1'b0;
+        end
+        else begin
+            sum <= {1'b0, opa_r} + {1'b0, opb_r};
+            sum_valid <= stage_valid;
+        end
+    end
+
+    property p_sum_correct;
+        @(posedge clk) disable iff (!rst_n)
+        stage_valid |=> sum == ({1'b0, $past(opa_r)} + {1'b0, $past(opb_r)});
+    endproperty
+    a_sum_correct: assert property (p_sum_correct)
+        else $error("registered sum must equal the sum of the registered operands");
+
+    property p_valid_pipe;
+        @(posedge clk) disable iff (!rst_n)
+        en |=> ##1 sum_valid;
+    endproperty
+    a_valid_pipe: assert property (p_valid_pipe)
+        else $error("sum_valid must follow en by two cycles");
+endmodule
+"""
+    spec = (
+        "The module 'adder_pipe_16' is a two-stage pipelined 16-bit adder.\n\n"
+        "Ports:\n"
+        "- clk (input, 1 bit): clock, rising edge active\n"
+        "- rst_n (input, 1 bit): asynchronous active-low reset\n"
+        "- en (input, 1 bit): input enable / valid\n"
+        "- opa, opb (input, 16 bits): operands\n"
+        "- sum (output, 17 bits): registered sum including the carry bit\n"
+        "- sum_valid (output, 1 bit): high when sum corresponds to a cycle where en was high\n\n"
+        "Function:\n"
+        "- Stage 1 registers the operands and the enable.\n"
+        "- Stage 2 adds the registered operands into a 17-bit sum and pipelines the valid bit.\n"
+        "- sum_valid therefore follows en with a latency of two clock cycles."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="sum <= {1'b0, opa_r} + {1'b0, opb_r};",
+            buggy_line="sum <= {1'b0, opa_r} - {1'b0, opb_r};",
+            note="subtraction used instead of addition in the second pipeline stage",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="sum_valid <= stage_valid;",
+            buggy_line="sum_valid <= en;",
+            note="valid bit skips the first pipeline stage, breaking the two-cycle latency",
+            edit_kind="var",
+        ),
+        HumanBug(
+            golden_fragment="opb_r <= opb;",
+            buggy_line="opb_r <= opa;",
+            note="second operand register captures the wrong operand",
+            edit_kind="var",
+        ),
+        HumanBug(
+            golden_fragment="stage_valid <= en;",
+            buggy_line="stage_valid <= 1'b1;",
+            note="stage valid stuck at one regardless of en",
+            edit_kind="value",
+        ),
+    ]
+    return HumanDesign(name="adder_pipe_16", spec=spec, source=source, bugs=bugs)
+
+
+def _design_counter_12() -> HumanDesign:
+    source = """\
+module counter_12 (
+    input  wire       clk,
+    input  wire       rst_n,
+    input  wire       valid_count,
+    output reg  [3:0] out
+);
+    wire wrap;
+    assign wrap = (out == 4'd11);
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            out <= 4'd0;
+        end
+        else if (valid_count) begin
+            if (wrap)
+                out <= 4'd0;
+            else
+                out <= out + 4'd1;
+        end
+    end
+
+    property p_wrap_to_zero;
+        @(posedge clk) disable iff (!rst_n)
+        (valid_count && out == 4'd11) |=> out == 4'd0;
+    endproperty
+    a_wrap_to_zero: assert property (p_wrap_to_zero)
+        else $error("the counter must wrap to zero after reaching 11");
+
+    property p_stay_in_range;
+        @(posedge clk) disable iff (!rst_n)
+        out <= 4'd11;
+    endproperty
+    a_stay_in_range: assert property (p_stay_in_range)
+        else $error("the counter must never exceed 11");
+
+    property p_hold_when_idle;
+        @(posedge clk) disable iff (!rst_n)
+        !valid_count |=> out == $past(out);
+    endproperty
+    a_hold_when_idle: assert property (p_hold_when_idle)
+        else $error("the counter must hold its value when valid_count is low");
+endmodule
+"""
+    spec = (
+        "The module 'counter_12' is a modulo-12 counter.\n\n"
+        "Ports:\n"
+        "- clk (input): clock\n"
+        "- rst_n (input): asynchronous active-low reset\n"
+        "- valid_count (input): counting enable\n"
+        "- out (output, 4 bits): counter value, range 0 to 11\n\n"
+        "Function:\n"
+        "- When valid_count is high the counter increments each cycle.\n"
+        "- After reaching 11 the counter wraps to 0.\n"
+        "- When valid_count is low the counter holds its value.\n"
+        "- The value must always stay in the range 0 to 11."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="assign wrap = (out == 4'd11);",
+            buggy_line="assign wrap = (out == 4'd12);",
+            note="wrap comparison uses 12, letting the counter leave its legal range",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="else if (valid_count) begin",
+            buggy_line="else if (!valid_count) begin",
+            note="enable condition inverted, the counter runs when it should hold",
+            edit_kind="cond",
+        ),
+        HumanBug(
+            golden_fragment="out <= out + 4'd1;",
+            buggy_line="out <= out + 4'd2;",
+            note="the counter increments by two and skips the wrap value",
+            edit_kind="value",
+        ),
+    ]
+    return HumanDesign(name="counter_12", spec=spec, source=source, bugs=bugs)
+
+
+def _design_pulse_detect() -> HumanDesign:
+    source = """\
+module pulse_detect (
+    input  wire clk,
+    input  wire rst_n,
+    input  wire data_in,
+    output reg  data_out
+);
+    reg [1:0] state;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            state <= 2'd0;
+            data_out <= 1'b0;
+        end
+        else begin
+            data_out <= 1'b0;
+            case (state)
+                2'd0: begin
+                    if (data_in)
+                        state <= 2'd1;
+                end
+                2'd1: begin
+                    if (!data_in) begin
+                        state <= 2'd0;
+                        data_out <= 1'b1;
+                    end
+                end
+                default: state <= 2'd0;
+            endcase
+        end
+    end
+
+    property p_pulse_end;
+        @(posedge clk) disable iff (!rst_n)
+        (state == 2'd1 && !data_in) |=> data_out;
+    endproperty
+    a_pulse_end: assert property (p_pulse_end)
+        else $error("data_out must pulse when a 1->0 transition completes a pulse");
+
+    property p_no_false_pulse;
+        @(posedge clk) disable iff (!rst_n)
+        (state == 2'd0 && !data_in) |=> !data_out;
+    endproperty
+    a_no_false_pulse: assert property (p_no_false_pulse)
+        else $error("data_out must stay low while no pulse is in progress");
+endmodule
+"""
+    spec = (
+        "The module 'pulse_detect' detects complete 0-1-0 pulses on data_in.\n\n"
+        "Ports:\n"
+        "- clk (input): clock\n- rst_n (input): asynchronous active-low reset\n"
+        "- data_in (input): monitored serial input\n"
+        "- data_out (output): one-cycle pulse when a complete pulse has been observed\n\n"
+        "Function:\n"
+        "- The FSM waits for data_in to go high (start of a pulse) and then for it to return "
+        "to zero (end of the pulse).\n"
+        "- When the falling edge that completes the pulse is seen, data_out is asserted for one cycle.\n"
+        "- data_out stays low in all other cycles."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="if (!data_in) begin",
+            buggy_line="if (data_in) begin",
+            note="the falling-edge condition that completes a pulse is inverted",
+            edit_kind="cond",
+        ),
+        HumanBug(
+            golden_fragment="data_out <= 1'b1;",
+            buggy_line="data_out <= 1'b0;",
+            note="the completion pulse is never driven high",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="if (data_in)",
+            buggy_line="if (data_out)",
+            note="the pulse-start condition looks at the wrong signal",
+            edit_kind="var",
+        ),
+    ]
+    return HumanDesign(name="pulse_detect", spec=spec, source=source, bugs=bugs)
+
+
+def _design_serial2parallel() -> HumanDesign:
+    source = """\
+module serial2parallel (
+    input  wire       clk,
+    input  wire       rst_n,
+    input  wire       din_serial,
+    input  wire       din_valid,
+    output reg  [7:0] dout_parallel,
+    output reg        dout_valid
+);
+    reg [3:0] cnt;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            cnt <= 4'd0;
+        else if (din_valid) begin
+            if (cnt == 4'd7)
+                cnt <= 4'd0;
+            else
+                cnt <= cnt + 4'd1;
+        end
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            dout_parallel <= 8'd0;
+        else if (din_valid)
+            dout_parallel <= {dout_parallel[6:0], din_serial};
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            dout_valid <= 1'b0;
+        else if (din_valid && (cnt == 4'd7))
+            dout_valid <= 1'b1;
+        else
+            dout_valid <= 1'b0;
+    end
+
+    property p_dout_valid_timing;
+        @(posedge clk) disable iff (!rst_n)
+        (din_valid && cnt == 4'd7) |=> dout_valid;
+    endproperty
+    a_dout_valid_timing: assert property (p_dout_valid_timing)
+        else $error("dout_valid must rise after the eighth serial bit");
+
+    property p_no_early_valid;
+        @(posedge clk) disable iff (!rst_n)
+        (din_valid && cnt != 4'd7) |=> !dout_valid;
+    endproperty
+    a_no_early_valid: assert property (p_no_early_valid)
+        else $error("dout_valid must stay low before the eighth serial bit");
+
+    property p_shift_in;
+        @(posedge clk) disable iff (!rst_n)
+        din_valid |=> dout_parallel[0] == $past(din_serial);
+    endproperty
+    a_shift_in: assert property (p_shift_in)
+        else $error("the newest serial bit must appear at bit 0 of the parallel word");
+endmodule
+"""
+    spec = (
+        "The module 'serial2parallel' converts a serial bit stream into 8-bit words.\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- din_serial (input): serial data bit\n"
+        "- din_valid (input): serial bit valid\n"
+        "- dout_parallel (output, 8 bits): assembled word, MSB received first\n"
+        "- dout_valid (output): high for one cycle after every 8th valid bit\n\n"
+        "Function:\n"
+        "- Valid serial bits are shifted into the parallel register, newest bit at position 0.\n"
+        "- A 4-bit counter counts the bits of the current word from 0 to 7.\n"
+        "- dout_valid pulses exactly one cycle after the counter reaches 7 with a valid bit."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="if (cnt == 4'd7)",
+            buggy_line="if (cnt == 4'd8)",
+            note="the bit counter never wraps at the word boundary",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="else if (din_valid && (cnt == 4'd7))",
+            buggy_line="else if (din_valid || (cnt == 4'd7))",
+            note="dout_valid fires for every valid bit instead of only the last one",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="dout_parallel <= {dout_parallel[6:0], din_serial};",
+            buggy_line="dout_parallel <= {dout_parallel[6:0], din_valid};",
+            note="the shift register captures the valid strobe instead of the data bit",
+            edit_kind="var",
+        ),
+        HumanBug(
+            golden_fragment="cnt <= cnt + 4'd1;",
+            buggy_line="cnt <= cnt;",
+            note="the bit counter never advances so the word boundary is never reached",
+            edit_kind="noncond",
+        ),
+    ]
+    return HumanDesign(name="serial2parallel", spec=spec, source=source, bugs=bugs)
+
+
+def _design_width_8to16() -> HumanDesign:
+    source = """\
+module width_8to16 (
+    input  wire        clk,
+    input  wire        rst_n,
+    input  wire        valid_in,
+    input  wire [7:0]  data_in,
+    output reg         valid_out,
+    output reg  [15:0] data_out
+);
+    reg [7:0] data_lock;
+    reg       flag;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            flag <= 1'b0;
+            data_lock <= 8'd0;
+        end
+        else if (valid_in) begin
+            if (!flag) begin
+                data_lock <= data_in;
+                flag <= 1'b1;
+            end
+            else begin
+                flag <= 1'b0;
+            end
+        end
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            valid_out <= 1'b0;
+            data_out <= 16'd0;
+        end
+        else if (valid_in && flag) begin
+            valid_out <= 1'b1;
+            data_out <= {data_lock, data_in};
+        end
+        else begin
+            valid_out <= 1'b0;
+        end
+    end
+
+    property p_pairing;
+        @(posedge clk) disable iff (!rst_n)
+        (valid_in && flag) |=> (valid_out && data_out == {$past(data_lock), $past(data_in)});
+    endproperty
+    a_pairing: assert property (p_pairing)
+        else $error("the output word must pair the locked byte with the current byte");
+
+    property p_single_byte_no_output;
+        @(posedge clk) disable iff (!rst_n)
+        (valid_in && !flag) |=> !valid_out;
+    endproperty
+    a_single_byte_no_output: assert property (p_single_byte_no_output)
+        else $error("no output word may appear after only one byte of a pair");
+endmodule
+"""
+    spec = (
+        "The module 'width_8to16' packs pairs of 8-bit inputs into 16-bit outputs.\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- valid_in (input): input byte valid\n"
+        "- data_in (input, 8 bits): input byte\n"
+        "- valid_out (output): high for one cycle when a 16-bit word is produced\n"
+        "- data_out (output, 16 bits): produced word, first byte of the pair in the upper half\n\n"
+        "Function:\n"
+        "- The first valid byte of a pair is stored in data_lock and sets an internal flag.\n"
+        "- The second valid byte completes the pair: the output word is {first byte, second byte} "
+        "and valid_out pulses for one cycle.\n"
+        "- After an output the module waits for the next pair."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="data_out <= {data_lock, data_in};",
+            buggy_line="data_out <= {data_in, data_lock};",
+            note="byte order of the packed word is swapped",
+            edit_kind="noncond",
+        ),
+        HumanBug(
+            golden_fragment="else if (valid_in && flag) begin",
+            buggy_line="else if (valid_in && !flag) begin",
+            note="the output fires on the first byte of a pair instead of the second",
+            edit_kind="cond",
+        ),
+        HumanBug(
+            golden_fragment="data_lock <= data_in;",
+            buggy_line="data_lock <= data_out[7:0];",
+            note="the first byte of a pair is latched from the wrong source",
+            edit_kind="var",
+        ),
+        HumanBug(
+            golden_fragment="flag <= 1'b1;",
+            buggy_line="flag <= 1'b0;",
+            note="the pairing flag is never set so no word is ever produced",
+            edit_kind="value",
+        ),
+    ]
+    return HumanDesign(name="width_8to16", spec=spec, source=source, bugs=bugs)
+
+
+def _design_ring_arbiter() -> HumanDesign:
+    source = """\
+module ring_arbiter (
+    input  wire       clk,
+    input  wire       rst_n,
+    input  wire [2:0] request,
+    output reg  [2:0] grant,
+    output wire       busy
+);
+    reg [1:0] pointer;
+    assign busy = (grant != 3'd0);
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            grant <= 3'd0;
+            pointer <= 2'd0;
+        end
+        else begin
+            grant <= 3'd0;
+            case (pointer)
+                2'd0: begin
+                    if (request[0]) begin
+                        grant <= 3'b001;
+                        pointer <= 2'd1;
+                    end
+                    else pointer <= 2'd1;
+                end
+                2'd1: begin
+                    if (request[1]) begin
+                        grant <= 3'b010;
+                        pointer <= 2'd2;
+                    end
+                    else pointer <= 2'd2;
+                end
+                2'd2: begin
+                    if (request[2]) begin
+                        grant <= 3'b100;
+                        pointer <= 2'd0;
+                    end
+                    else pointer <= 2'd0;
+                end
+                default: pointer <= 2'd0;
+            endcase
+        end
+    end
+
+    property p_grant_onehot;
+        @(posedge clk) disable iff (!rst_n)
+        busy |-> $onehot(grant);
+    endproperty
+    a_grant_onehot: assert property (p_grant_onehot)
+        else $error("at most one requester may be granted at a time");
+
+    property p_grant_requires_request;
+        @(posedge clk) disable iff (!rst_n)
+        grant[0] |-> $past(request[0]);
+    endproperty
+    a_grant_requires_request: assert property (p_grant_requires_request)
+        else $error("requester 0 may only be granted after it requested");
+
+    property p_pointer_range;
+        @(posedge clk) disable iff (!rst_n)
+        pointer != 2'd3;
+    endproperty
+    a_pointer_range: assert property (p_pointer_range)
+        else $error("the rotation pointer must never take the illegal value 3");
+endmodule
+"""
+    spec = (
+        "The module 'ring_arbiter' grants three requesters in rotating order.\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- request (input, 3 bits): request lines\n"
+        "- grant (output, 3 bits): registered one-hot grant\n"
+        "- busy (output): high while some requester is granted\n\n"
+        "Function:\n"
+        "- A rotation pointer visits requesters 0, 1, 2 in order, one per cycle.\n"
+        "- If the visited requester is requesting, it receives a one-cycle grant.\n"
+        "- The grant vector is one-hot or zero, and a grant implies the requester asked for it "
+        "in the previous cycle.\n"
+        "- The pointer only takes the values 0, 1 and 2."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="grant <= 3'b010;",
+            buggy_line="grant <= 3'b011;",
+            note="the grant for requester 1 is not one-hot",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="if (request[1]) begin",
+            buggy_line="if (request[0]) begin",
+            note="slot 1 is granted based on requester 0's request line",
+            edit_kind="var",
+        ),
+        HumanBug(
+            golden_fragment="pointer <= 2'd2;",
+            buggy_line="pointer <= 2'd3;",
+            note="the pointer is pushed into its illegal value",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="if (request[0]) begin",
+            buggy_line="if (!request[0]) begin",
+            note="requester 0 is granted exactly when it is not requesting",
+            edit_kind="cond",
+        ),
+    ]
+    return HumanDesign(name="ring_arbiter", spec=spec, source=source, bugs=bugs)
+
+
+def _design_freq_div() -> HumanDesign:
+    source = """\
+module freq_div_3 (
+    input  wire clk,
+    input  wire rst_n,
+    output reg  clk_div,
+    output reg  [1:0] cnt
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            cnt <= 2'd0;
+            clk_div <= 1'b0;
+        end
+        else begin
+            if (cnt == 2'd2) begin
+                cnt <= 2'd0;
+                clk_div <= ~clk_div;
+            end
+            else begin
+                cnt <= cnt + 2'd1;
+            end
+        end
+    end
+
+    property p_counter_range;
+        @(posedge clk) disable iff (!rst_n)
+        cnt <= 2'd2;
+    endproperty
+    a_counter_range: assert property (p_counter_range)
+        else $error("the divider counter must stay in the range 0..2");
+
+    property p_toggle_on_wrap;
+        @(posedge clk) disable iff (!rst_n)
+        (cnt == 2'd2) |=> clk_div != $past(clk_div);
+    endproperty
+    a_toggle_on_wrap: assert property (p_toggle_on_wrap)
+        else $error("the divided clock must toggle each time the counter wraps");
+
+    property p_hold_between_wraps;
+        @(posedge clk) disable iff (!rst_n)
+        (cnt != 2'd2) |=> clk_div == $past(clk_div);
+    endproperty
+    a_hold_between_wraps: assert property (p_hold_between_wraps)
+        else $error("the divided clock must only change when the counter wraps");
+endmodule
+"""
+    spec = (
+        "The module 'freq_div_3' divides the input clock rate by three (in toggle periods).\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- clk_div (output): divided clock, toggles every three input cycles\n"
+        "- cnt (output, 2 bits): internal phase counter, range 0..2\n\n"
+        "Function:\n"
+        "- The counter counts 0, 1, 2 and wraps.\n"
+        "- Each time the counter wraps, clk_div toggles; otherwise it holds its value."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="if (cnt == 2'd2) begin",
+            buggy_line="if (cnt == 2'd3) begin",
+            note="the wrap comparison is off by one so the counter leaves its range",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="clk_div <= ~clk_div;",
+            buggy_line="clk_div <= clk_div;",
+            note="the divided clock never toggles",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="cnt <= cnt + 2'd1;",
+            buggy_line="cnt <= cnt + 2'd2;",
+            note="the phase counter skips a value and wraps at the wrong time",
+            edit_kind="value",
+        ),
+    ]
+    return HumanDesign(name="freq_div_3", spec=spec, source=source, bugs=bugs)
+
+
+def _design_alu_flags() -> HumanDesign:
+    source = """\
+module alu_flags (
+    input  wire       clk,
+    input  wire       rst_n,
+    input  wire       issue,
+    input  wire [1:0] opcode,
+    input  wire [7:0] rs1,
+    input  wire [7:0] rs2,
+    output reg  [7:0] rd,
+    output reg        zero_flag,
+    output reg        ready
+);
+    reg [7:0] alu_out;
+
+    always @(*) begin
+        case (opcode)
+            2'd0: alu_out = rs1 + rs2;
+            2'd1: alu_out = rs1 - rs2;
+            2'd2: alu_out = rs1 & rs2;
+            default: alu_out = rs1 ^ rs2;
+        endcase
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            rd <= 8'd0;
+            zero_flag <= 1'b0;
+            ready <= 1'b0;
+        end
+        else if (issue) begin
+            rd <= alu_out;
+            zero_flag <= (alu_out == 8'd0);
+            ready <= 1'b1;
+        end
+        else begin
+            ready <= 1'b0;
+        end
+    end
+
+    property p_zero_flag_consistent;
+        @(posedge clk) disable iff (!rst_n)
+        (issue && alu_out == 8'd0) |=> zero_flag;
+    endproperty
+    a_zero_flag_consistent: assert property (p_zero_flag_consistent)
+        else $error("the zero flag must be set when the captured result is zero");
+
+    property p_ready_tracks_issue;
+        @(posedge clk) disable iff (!rst_n)
+        issue |=> ready;
+    endproperty
+    a_ready_tracks_issue: assert property (p_ready_tracks_issue)
+        else $error("ready must be high the cycle after an operation is issued");
+
+    property p_result_captured;
+        @(posedge clk) disable iff (!rst_n)
+        issue |=> rd == $past(alu_out);
+    endproperty
+    a_result_captured: assert property (p_result_captured)
+        else $error("rd must capture the ALU result of the issued operation");
+endmodule
+"""
+    spec = (
+        "The module 'alu_flags' is a small registered ALU with a zero flag.\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- issue (input): operation issue strobe\n"
+        "- opcode (input, 2 bits): 0 = add, 1 = subtract, 2 = AND, 3 = XOR\n"
+        "- rs1, rs2 (input, 8 bits): operands\n"
+        "- rd (output, 8 bits): captured result\n"
+        "- zero_flag (output): high when the captured result is zero\n"
+        "- ready (output): high for one cycle after each issued operation\n\n"
+        "Function:\n"
+        "- The combinational ALU computes the selected operation.\n"
+        "- When issue is high the result, the zero flag and the ready pulse are registered."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="2'd1: alu_out = rs1 - rs2;",
+            buggy_line="2'd1: alu_out = rs1 + rs2;",
+            note="the subtract opcode performs an addition",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="zero_flag <= (alu_out == 8'd0);",
+            buggy_line="zero_flag <= (alu_out != 8'd0);",
+            note="the zero flag polarity is inverted",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="else if (issue) begin",
+            buggy_line="else if (!issue) begin",
+            note="results are captured exactly when no operation is issued",
+            edit_kind="cond",
+        ),
+        HumanBug(
+            golden_fragment="rd <= alu_out;",
+            buggy_line="rd <= rs1;",
+            note="the destination register captures an operand instead of the result",
+            edit_kind="var",
+        ),
+    ]
+    return HumanDesign(name="alu_flags", spec=spec, source=source, bugs=bugs)
+
+
+def _design_traffic_ped() -> HumanDesign:
+    source = """\
+module traffic_ped (
+    input  wire clk,
+    input  wire rst_n,
+    input  wire ped_request,
+    output reg  [1:0] phase,
+    output reg  [3:0] timer,
+    output reg  walk_light
+);
+    localparam CARS_GO = 2'd0;
+    localparam CARS_STOP = 2'd1;
+    localparam WALK = 2'd2;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            phase <= CARS_GO;
+            timer <= 4'd8;
+            walk_light <= 1'b0;
+        end
+        else begin
+            if (timer != 4'd0) begin
+                timer <= timer - 4'd1;
+            end
+            else begin
+                case (phase)
+                    CARS_GO: begin
+                        if (ped_request) begin
+                            phase <= CARS_STOP;
+                            timer <= 4'd2;
+                        end
+                        else begin
+                            timer <= 4'd8;
+                        end
+                    end
+                    CARS_STOP: begin
+                        phase <= WALK;
+                        timer <= 4'd6;
+                        walk_light <= 1'b1;
+                    end
+                    WALK: begin
+                        phase <= CARS_GO;
+                        timer <= 4'd8;
+                        walk_light <= 1'b0;
+                    end
+                    default: phase <= CARS_GO;
+                endcase
+            end
+        end
+    end
+
+    property p_walk_light_in_walk;
+        @(posedge clk) disable iff (!rst_n)
+        walk_light |-> phase == 2'd2;
+    endproperty
+    a_walk_light_in_walk: assert property (p_walk_light_in_walk)
+        else $error("the walk light may only be on during the WALK phase");
+
+    property p_stop_then_walk;
+        @(posedge clk) disable iff (!rst_n)
+        (phase == 2'd1 && timer == 4'd0) |=> phase == 2'd2;
+    endproperty
+    a_stop_then_walk: assert property (p_stop_then_walk)
+        else $error("the WALK phase must follow CARS_STOP when its timer expires");
+
+    property p_legal_phase;
+        @(posedge clk) disable iff (!rst_n)
+        phase != 2'd3;
+    endproperty
+    a_legal_phase: assert property (p_legal_phase)
+        else $error("the controller must never reach the unused phase encoding");
+endmodule
+"""
+    spec = (
+        "The module 'traffic_ped' is a pedestrian-crossing traffic controller.\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- ped_request (input): pedestrian button\n"
+        "- phase (output, 2 bits): 0 = cars go, 1 = cars stopping, 2 = walk\n"
+        "- timer (output, 4 bits): cycles remaining in the current phase\n"
+        "- walk_light (output): pedestrian walk light, on only during the walk phase\n\n"
+        "Function:\n"
+        "- In CARS_GO the controller waits for its timer and then, if a pedestrian requested, "
+        "moves to CARS_STOP for 2 cycles, then WALK for 6 cycles, then back to CARS_GO.\n"
+        "- The walk light is on exactly during the WALK phase.\n"
+        "- The phase encoding 3 is never used."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="walk_light <= 1'b1;",
+            buggy_line="walk_light <= ped_request;",
+            note="the walk light depends on the button instead of the phase",
+            edit_kind="var",
+        ),
+        HumanBug(
+            golden_fragment="phase <= WALK;",
+            buggy_line="phase <= CARS_GO;",
+            note="the stopping phase returns to CARS_GO and skips the walk phase",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="if (timer != 4'd0) begin",
+            buggy_line="if (timer == 4'd0) begin",
+            note="the timer comparison is inverted so phases change at the wrong time",
+            edit_kind="cond",
+        ),
+        HumanBug(
+            golden_fragment="walk_light <= 1'b0;",
+            buggy_line="walk_light <= 1'b1;",
+            note="the walk light stays on after leaving the walk phase",
+            edit_kind="value",
+        ),
+    ]
+    return HumanDesign(name="traffic_ped", spec=spec, source=source, bugs=bugs)
+
+
+def _design_parity_checker() -> HumanDesign:
+    source = """\
+module parity_checker (
+    input  wire       clk,
+    input  wire       rst_n,
+    input  wire       frame_valid,
+    input  wire [7:0] frame_data,
+    input  wire       frame_parity,
+    output reg        error_flag,
+    output reg  [7:0] error_count
+);
+    wire computed_parity;
+    assign computed_parity = ^frame_data;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            error_flag <= 1'b0;
+            error_count <= 8'd0;
+        end
+        else if (frame_valid) begin
+            if (computed_parity != frame_parity) begin
+                error_flag <= 1'b1;
+                error_count <= error_count + 8'd1;
+            end
+            else begin
+                error_flag <= 1'b0;
+            end
+        end
+        else begin
+            error_flag <= 1'b0;
+        end
+    end
+
+    property p_error_detect;
+        @(posedge clk) disable iff (!rst_n)
+        (frame_valid && ((^frame_data) != frame_parity)) |=> error_flag;
+    endproperty
+    a_error_detect: assert property (p_error_detect)
+        else $error("a parity mismatch must raise the error flag");
+
+    property p_no_false_error;
+        @(posedge clk) disable iff (!rst_n)
+        (frame_valid && ((^frame_data) == frame_parity)) |=> !error_flag;
+    endproperty
+    a_no_false_error: assert property (p_no_false_error)
+        else $error("a matching parity must not raise the error flag");
+
+    property p_count_on_error;
+        @(posedge clk) disable iff (!rst_n)
+        (frame_valid && ((^frame_data) != frame_parity)) |=> error_count == $past(error_count) + 1;
+    endproperty
+    a_count_on_error: assert property (p_count_on_error)
+        else $error("each detected parity error must increment the error counter");
+endmodule
+"""
+    spec = (
+        "The module 'parity_checker' verifies the even parity bit of incoming frames.\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- frame_valid (input): frame strobe\n"
+        "- frame_data (input, 8 bits): frame payload\n"
+        "- frame_parity (input): parity bit accompanying the frame\n"
+        "- error_flag (output): high for one cycle after a frame whose parity does not match\n"
+        "- error_count (output, 8 bits): number of parity errors seen since reset\n\n"
+        "Function:\n"
+        "- The expected parity is the XOR reduction of the frame payload.\n"
+        "- When a valid frame's parity bit differs from the computed parity, error_flag pulses "
+        "and the error counter increments.\n"
+        "- Matching frames clear error_flag and leave the counter unchanged."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="assign computed_parity = ^frame_data;",
+            buggy_line="assign computed_parity = &frame_data;",
+            note="the parity reduction uses AND instead of XOR",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="if (computed_parity != frame_parity) begin",
+            buggy_line="if (computed_parity == frame_parity) begin",
+            note="the mismatch comparison is inverted",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="error_count <= error_count + 8'd1;",
+            buggy_line="error_count <= error_count + 8'd2;",
+            note="every error is counted twice",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="else if (frame_valid) begin",
+            buggy_line="else if (frame_parity) begin",
+            note="frames are only checked when the parity bit happens to be one",
+            edit_kind="var",
+        ),
+    ]
+    return HumanDesign(name="parity_checker", spec=spec, source=source, bugs=bugs)
+
+
+def _design_stack_ptr() -> HumanDesign:
+    source = """\
+module stack_pointer (
+    input  wire       clk,
+    input  wire       rst_n,
+    input  wire       push,
+    input  wire       pop,
+    output reg  [4:0] sp,
+    output wire       stack_empty,
+    output wire       stack_full,
+    output reg        fault
+);
+    assign stack_empty = (sp == 5'd0);
+    assign stack_full = (sp == 5'd16);
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            sp <= 5'd0;
+            fault <= 1'b0;
+        end
+        else begin
+            if (push && !pop) begin
+                if (stack_full)
+                    fault <= 1'b1;
+                else
+                    sp <= sp + 5'd1;
+            end
+            else if (pop && !push) begin
+                if (stack_empty)
+                    fault <= 1'b1;
+                else
+                    sp <= sp - 5'd1;
+            end
+        end
+    end
+
+    property p_sp_bounded;
+        @(posedge clk) disable iff (!rst_n)
+        sp <= 5'd16;
+    endproperty
+    a_sp_bounded: assert property (p_sp_bounded)
+        else $error("the stack pointer may never exceed the stack capacity");
+
+    property p_push_increments;
+        @(posedge clk) disable iff (!rst_n)
+        (push && !pop && !stack_full) |=> sp == $past(sp) + 1;
+    endproperty
+    a_push_increments: assert property (p_push_increments)
+        else $error("a legal push must increment the stack pointer by one");
+
+    property p_pop_decrements;
+        @(posedge clk) disable iff (!rst_n)
+        (pop && !push && !stack_empty) |=> sp == $past(sp) - 1;
+    endproperty
+    a_pop_decrements: assert property (p_pop_decrements)
+        else $error("a legal pop must decrement the stack pointer by one");
+
+    property p_fault_on_overflow;
+        @(posedge clk) disable iff (!rst_n)
+        (push && !pop && stack_full) |=> fault;
+    endproperty
+    a_fault_on_overflow: assert property (p_fault_on_overflow)
+        else $error("pushing onto a full stack must raise the fault flag");
+endmodule
+"""
+    spec = (
+        "The module 'stack_pointer' maintains the pointer and status flags of a 16-entry stack.\n\n"
+        "Ports:\n"
+        "- clk, rst_n: clock and asynchronous active-low reset\n"
+        "- push, pop (input): stack operations\n"
+        "- sp (output, 5 bits): current number of occupied entries, 0..16\n"
+        "- stack_empty, stack_full (output): occupancy flags\n"
+        "- fault (output): sticky flag raised by an illegal push (full) or pop (empty)\n\n"
+        "Function:\n"
+        "- A push without pop increments sp unless the stack is full; overflowing raises fault.\n"
+        "- A pop without push decrements sp unless the stack is empty; underflowing raises fault.\n"
+        "- Simultaneous push and pop leave the pointer unchanged."
+    )
+    bugs = [
+        HumanBug(
+            golden_fragment="assign stack_full = (sp == 5'd16);",
+            buggy_line="assign stack_full = (sp == 5'd17);",
+            note="the full comparison is off by one so the pointer can overflow",
+            edit_kind="value",
+        ),
+        HumanBug(
+            golden_fragment="sp <= sp - 5'd1;",
+            buggy_line="sp <= sp + 5'd1;",
+            note="a pop moves the pointer in the wrong direction",
+            edit_kind="op",
+        ),
+        HumanBug(
+            golden_fragment="if (push && !pop) begin",
+            buggy_line="if (push && pop) begin",
+            note="the push path requires pop to be asserted simultaneously",
+            edit_kind="cond",
+        ),
+        HumanBug(
+            golden_fragment="if (stack_full)",
+            buggy_line="if (stack_empty)",
+            note="the overflow check looks at the wrong status flag",
+            edit_kind="var",
+        ),
+    ]
+    return HumanDesign(name="stack_pointer", spec=spec, source=source, bugs=bugs)
+
+
+_DESIGN_BUILDERS = (
+    _design_adder_pipe,
+    _design_counter_12,
+    _design_pulse_detect,
+    _design_serial2parallel,
+    _design_width_8to16,
+    _design_ring_arbiter,
+    _design_freq_div,
+    _design_alu_flags,
+    _design_traffic_ped,
+    _design_parity_checker,
+    _design_stack_ptr,
+)
+
+
+def human_designs() -> list[HumanDesign]:
+    """Return every hand-written design (golden source + planted bugs)."""
+    return [builder() for builder in _DESIGN_BUILDERS]
+
+
+def human_crafted_designs() -> list[HumanBugCase]:
+    """Return every (design, planted bug) case of the human-crafted split."""
+    cases: list[HumanBugCase] = []
+    for design in human_designs():
+        cases.extend(_materialise(design))
+    return cases

@@ -1,0 +1,99 @@
+"""Natural-language specification synthesis.
+
+The paper uses GPT-4 to write a design specification for every corpus entry.
+Here specifications are synthesised deterministically (but with seeded
+phrasing variation) from the template metadata: the module's purpose, its
+port list, parameter values, and a bullet list of behavioural statements.
+The resulting text plays exactly the same role in the datasets: it is the
+"Spec" field the repair model and the baselines read to understand design
+intent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.corpus.metadata import DesignArtifact
+
+_INTRO_TEMPLATES = (
+    "The module '{name}' implements {description}",
+    "'{name}' is a synthesisable RTL module that implements {description}",
+    "This design, named '{name}', realises {description}",
+    "Module '{name}': {description}",
+)
+
+_PORT_HEADERS = (
+    "Ports:",
+    "Interface:",
+    "Port list:",
+)
+
+_BEHAVIOUR_HEADERS = (
+    "Function:",
+    "Expected behaviour:",
+    "Functional requirements:",
+)
+
+_RESET_SENTENCES = (
+    "All state elements are cleared when the active-low reset rst_n is asserted.",
+    "The asynchronous active-low reset rst_n returns every register to its reset value.",
+    "Asserting rst_n low resets the internal state.",
+)
+
+
+def build_spec(artifact: DesignArtifact, seed: Optional[int] = None) -> str:
+    """Build the specification text for one design artifact.
+
+    Args:
+        artifact: the design to describe.
+        seed: seed controlling phrasing variation; ``None`` uses the module
+            name so the same design always gets the same spec.
+    """
+    rng = random.Random(seed if seed is not None else hash(artifact.name) & 0xFFFF)
+    sections: list[str] = []
+
+    intro = rng.choice(_INTRO_TEMPLATES).format(
+        name=artifact.name, description=artifact.description.rstrip(".") + "."
+    )
+    sections.append(intro)
+
+    if artifact.parameters:
+        rendered = ", ".join(f"{key} = {value}" for key, value in sorted(artifact.parameters.items()))
+        sections.append(f"Parameters: {rendered}.")
+
+    if artifact.ports:
+        port_lines = [rng.choice(_PORT_HEADERS)]
+        port_lines.extend(port.render() for port in artifact.ports)
+        sections.append("\n".join(port_lines))
+
+    if artifact.behaviour:
+        behaviour_lines = [rng.choice(_BEHAVIOUR_HEADERS)]
+        behaviour_lines.extend(f"- {sentence}" for sentence in artifact.behaviour)
+        sections.append("\n".join(behaviour_lines))
+
+    if any(port.name in ("rst_n", "resetn", "rst") for port in artifact.ports):
+        sections.append(rng.choice(_RESET_SENTENCES))
+
+    return "\n\n".join(sections)
+
+
+def spec_keywords(spec: str) -> set[str]:
+    """Lower-cased identifier-like tokens of a specification.
+
+    Used by the repair model's spec-alignment features: overlap between the
+    tokens of a candidate fix and the specification text is a (weak) signal
+    that the fix matches the stated intent.
+    """
+    tokens: set[str] = set()
+    word = []
+    for ch in spec:
+        if ch.isalnum() or ch == "_":
+            word.append(ch.lower())
+        else:
+            if word:
+                tokens.add("".join(word))
+                word = []
+    if word:
+        tokens.add("".join(word))
+    return {t for t in tokens if len(t) > 1 and not t.isdigit()}

@@ -1,0 +1,38 @@
+"""Design-family templates for the synthetic corpus.
+
+Every template builds a :class:`~repro.corpus.metadata.DesignArtifact`:
+golden Verilog source (within the supported subset), a functional
+description, port documentation, behavioural bullet points, and optionally a
+couple of hand-written SVA blocks characteristic of the family.  The corpus
+generator sweeps each family's parameter grid to obtain designs across all
+code-length bins of Table II.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.metadata import DesignFamily
+
+from repro.corpus.templates import arbiters, composite, counters, datapath, fsm, shift
+
+
+def all_families() -> list[DesignFamily]:
+    """Return every registered design family."""
+    families: list[DesignFamily] = []
+    families.extend(counters.FAMILIES)
+    families.extend(datapath.FAMILIES)
+    families.extend(shift.FAMILIES)
+    families.extend(fsm.FAMILIES)
+    families.extend(arbiters.FAMILIES)
+    families.extend(composite.FAMILIES)
+    return families
+
+
+def family_by_name(name: str) -> DesignFamily:
+    """Look up one family by name."""
+    for family in all_families():
+        if family.name == name:
+            return family
+    raise KeyError(f"unknown design family '{name}'")
+
+
+__all__ = ["all_families", "family_by_name"]

@@ -1,0 +1,319 @@
+"""Arbitration and storage design families: arbiters, FIFO flags, register files."""
+
+from __future__ import annotations
+
+from repro.corpus.metadata import DesignArtifact, DesignFamily, PortSpec
+
+
+def build_priority_arbiter(name: str, requesters: int = 4) -> DesignArtifact:
+    """A fixed-priority arbiter (bit 0 has the highest priority)."""
+    grant_terms = []
+    for index in range(requesters):
+        if index == 0:
+            grant_terms.append(f"        if (req[0]) grant = {requesters}'d1;\n")
+        else:
+            one_hot = ("1" + "0" * index).rjust(requesters, "0")
+            grant_terms.append(
+                f"        else if (req[{index}]) grant = {requesters}'b{one_hot};\n"
+            )
+    grant_block = "".join(grant_terms)
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire [{requesters - 1}:0] req,\n"
+        f"    output reg [{requesters - 1}:0] grant,\n"
+        f"    output reg [{requesters - 1}:0] grant_q,\n"
+        f"    output wire any_grant\n"
+        f");\n"
+        f"    assign any_grant = (grant != {requesters}'d0);\n"
+        f"    always @(*) begin\n"
+        f"        grant = {requesters}'d0;\n"
+        f"{grant_block}"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) grant_q <= {requesters}'d0;\n"
+        f"        else grant_q <= grant;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="priority_arbiter",
+        source=source,
+        description=f"a {requesters}-way fixed-priority arbiter (request 0 has the highest priority)",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("req", "input", requesters, "request lines, one per requester"),
+            PortSpec("grant", "output", requesters, "combinational one-hot grant"),
+            PortSpec("grant_q", "output", requesters, "registered copy of the grant"),
+            PortSpec("any_grant", "output", 1, "high when any grant is active"),
+        ],
+        behaviour=[
+            "The lowest-numbered active request wins; the grant output is one-hot.",
+            "When no request is active the grant is zero.",
+            "grant_q registers the combinational grant with one cycle of delay.",
+        ],
+        template_svas=[
+            "property p_grant_onehot;\n"
+            "    @(posedge clk) disable iff (!rst_n) any_grant |-> $onehot(grant);\n"
+            "endproperty\n"
+            "a_grant_onehot: assert property (p_grant_onehot) "
+            "else $error(\"the grant vector must be one-hot whenever a grant is active\");",
+            "property p_highest_priority_wins;\n"
+            "    @(posedge clk) disable iff (!rst_n) req[0] |-> grant[0];\n"
+            "endproperty\n"
+            "a_highest_priority_wins: assert property (p_highest_priority_wins) "
+            "else $error(\"requester 0 must always win when it requests\");",
+        ],
+        parameters={"requesters": requesters},
+    )
+
+
+def build_round_robin_arbiter(name: str, requesters: int = 2) -> DesignArtifact:
+    """A two-requester round-robin arbiter with a fairness pointer."""
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire req0,\n"
+        f"    input wire req1,\n"
+        f"    output reg grant0,\n"
+        f"    output reg grant1,\n"
+        f"    output reg last_winner\n"
+        f");\n"
+        f"    always @(*) begin\n"
+        f"        grant0 = 1'b0;\n"
+        f"        grant1 = 1'b0;\n"
+        f"        if (req0 && req1) begin\n"
+        f"            if (last_winner) grant0 = 1'b1;\n"
+        f"            else grant1 = 1'b1;\n"
+        f"        end\n"
+        f"        else if (req0) grant0 = 1'b1;\n"
+        f"        else if (req1) grant1 = 1'b1;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) last_winner <= 1'b1;\n"
+        f"        else if (grant0) last_winner <= 1'b0;\n"
+        f"        else if (grant1) last_winner <= 1'b1;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="round_robin_arbiter",
+        source=source,
+        description="a two-way round-robin arbiter that alternates under contention",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("req0", "input", 1, "request from requester 0"),
+            PortSpec("req1", "input", 1, "request from requester 1"),
+            PortSpec("grant0", "output", 1, "grant to requester 0"),
+            PortSpec("grant1", "output", 1, "grant to requester 1"),
+            PortSpec("last_winner", "output", 1, "identity of the last granted requester"),
+        ],
+        behaviour=[
+            "With a single active request, that requester is granted immediately.",
+            "Under contention the requester that did not win last time is granted (round robin).",
+            "The two grants are never active in the same cycle.",
+            "The last_winner register tracks which requester was granted most recently.",
+        ],
+        template_svas=[
+            "property p_mutually_exclusive;\n"
+            "    @(posedge clk) disable iff (!rst_n) !(grant0 && grant1);\n"
+            "endproperty\n"
+            "a_mutually_exclusive: assert property (p_mutually_exclusive) "
+            "else $error(\"both grants must never be active together\");",
+            "property p_no_spurious_grant;\n"
+            "    @(posedge clk) disable iff (!rst_n) (!req0 && !req1) |-> (!grant0 && !grant1);\n"
+            "endproperty\n"
+            "a_no_spurious_grant: assert property (p_no_spurious_grant) "
+            "else $error(\"no grant may be given without a request\");",
+        ],
+        parameters={"requesters": requesters},
+    )
+
+
+def build_fifo_flags(name: str, depth: int = 8) -> DesignArtifact:
+    """FIFO occupancy tracking (counter-based full/empty flags, no storage)."""
+    width = max(1, depth.bit_length())
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire push,\n"
+        f"    input wire pop,\n"
+        f"    output reg [{width - 1}:0] count,\n"
+        f"    output wire full,\n"
+        f"    output wire empty,\n"
+        f"    output reg overflow_err,\n"
+        f"    output reg underflow_err\n"
+        f");\n"
+        f"    assign full = (count == {width}'d{depth});\n"
+        f"    assign empty = (count == {width}'d0);\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) count <= {width}'d0;\n"
+        f"        else if (push && !pop && !full) count <= count + {width}'d1;\n"
+        f"        else if (pop && !push && !empty) count <= count - {width}'d1;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) overflow_err <= 1'b0;\n"
+        f"        else if (push && !pop && full) overflow_err <= 1'b1;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) underflow_err <= 1'b0;\n"
+        f"        else if (pop && !push && empty) underflow_err <= 1'b1;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="fifo_flags",
+        source=source,
+        description=f"occupancy tracking for a depth-{depth} FIFO with sticky error flags",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("push", "input", 1, "write strobe"),
+            PortSpec("pop", "input", 1, "read strobe"),
+            PortSpec("count", "output", width, "current occupancy"),
+            PortSpec("full", "output", 1, f"high when the occupancy equals {depth}"),
+            PortSpec("empty", "output", 1, "high when the occupancy is zero"),
+            PortSpec("overflow_err", "output", 1, "sticky flag: a push was attempted while full"),
+            PortSpec("underflow_err", "output", 1, "sticky flag: a pop was attempted while empty"),
+        ],
+        behaviour=[
+            "A push without a simultaneous pop increments the occupancy unless the FIFO is full.",
+            "A pop without a simultaneous push decrements the occupancy unless the FIFO is empty.",
+            "Simultaneous push and pop leave the occupancy unchanged.",
+            "Attempting to push while full sets the sticky overflow_err flag; popping while empty "
+            "sets underflow_err.",
+            "full and empty are derived combinationally from the occupancy counter.",
+        ],
+        template_svas=[
+            "property p_never_full_and_empty;\n"
+            "    @(posedge clk) disable iff (!rst_n) !(full && empty);\n"
+            "endproperty\n"
+            "a_never_full_and_empty: assert property (p_never_full_and_empty) "
+            "else $error(\"the FIFO cannot be full and empty at the same time\");",
+            "property p_count_bounded;\n"
+            f"    @(posedge clk) disable iff (!rst_n) count <= {width}'d{depth};\n"
+            "endproperty\n"
+            "a_count_bounded: assert property (p_count_bounded) "
+            "else $error(\"the occupancy may never exceed the FIFO depth\");",
+            "property p_push_increments;\n"
+            "    @(posedge clk) disable iff (!rst_n) (push && !pop && !full) |=> count == $past(count) + 1;\n"
+            "endproperty\n"
+            "a_push_increments: assert property (p_push_increments) "
+            "else $error(\"a successful push must increment the occupancy\");",
+        ],
+        parameters={"depth": depth},
+    )
+
+
+def build_register_file(name: str, width: int = 8) -> DesignArtifact:
+    """A four-entry register file with one write and one read port (no arrays)."""
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire wr_en,\n"
+        f"    input wire [1:0] wr_addr,\n"
+        f"    input wire [{width - 1}:0] wr_data,\n"
+        f"    input wire [1:0] rd_addr,\n"
+        f"    output reg [{width - 1}:0] rd_data\n"
+        f");\n"
+        f"    reg [{width - 1}:0] reg0;\n"
+        f"    reg [{width - 1}:0] reg1;\n"
+        f"    reg [{width - 1}:0] reg2;\n"
+        f"    reg [{width - 1}:0] reg3;\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            reg0 <= {width}'d0;\n"
+        f"            reg1 <= {width}'d0;\n"
+        f"            reg2 <= {width}'d0;\n"
+        f"            reg3 <= {width}'d0;\n"
+        f"        end\n"
+        f"        else if (wr_en) begin\n"
+        f"            case (wr_addr)\n"
+        f"                2'd0: reg0 <= wr_data;\n"
+        f"                2'd1: reg1 <= wr_data;\n"
+        f"                2'd2: reg2 <= wr_data;\n"
+        f"                2'd3: reg3 <= wr_data;\n"
+        f"            endcase\n"
+        f"        end\n"
+        f"    end\n"
+        f"    always @(*) begin\n"
+        f"        case (rd_addr)\n"
+        f"            2'd0: rd_data = reg0;\n"
+        f"            2'd1: rd_data = reg1;\n"
+        f"            2'd2: rd_data = reg2;\n"
+        f"            default: rd_data = reg3;\n"
+        f"        endcase\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="register_file",
+        source=source,
+        description=f"a four-entry {width}-bit register file with one write and one read port",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("wr_en", "input", 1, "write enable"),
+            PortSpec("wr_addr", "input", 2, "write address"),
+            PortSpec("wr_data", "input", width, "write data"),
+            PortSpec("rd_addr", "input", 2, "read address"),
+            PortSpec("rd_data", "output", width, "combinational read data"),
+        ],
+        behaviour=[
+            "Reset clears all four registers.",
+            "When wr_en is high the register selected by wr_addr captures wr_data on the clock edge.",
+            "rd_data combinationally reflects the register selected by rd_addr.",
+            "A write to one register must not disturb the other three.",
+        ],
+        template_svas=[
+            "property p_write_entry0;\n"
+            "    @(posedge clk) disable iff (!rst_n) (wr_en && wr_addr == 2'd0) |=> reg0 == $past(wr_data);\n"
+            "endproperty\n"
+            "a_write_entry0: assert property (p_write_entry0) "
+            "else $error(\"a write to entry 0 must capture wr_data\");",
+            "property p_entry1_stable_without_write;\n"
+            "    @(posedge clk) disable iff (!rst_n) !(wr_en && wr_addr == 2'd1) |=> reg1 == $past(reg1);\n"
+            "endproperty\n"
+            "a_entry1_stable_without_write: assert property (p_entry1_stable_without_write) "
+            "else $error(\"entry 1 must hold its value unless it is written\");",
+        ],
+        parameters={"width": width},
+    )
+
+
+FAMILIES: list[DesignFamily] = [
+    DesignFamily(
+        name="priority_arbiter",
+        build=build_priority_arbiter,
+        description="fixed-priority arbiters",
+        parameter_grid=({"requesters": 3}, {"requesters": 4}, {"requesters": 6}),
+    ),
+    DesignFamily(
+        name="round_robin_arbiter",
+        build=build_round_robin_arbiter,
+        description="round-robin arbiters",
+        parameter_grid=({"requesters": 2},),
+    ),
+    DesignFamily(
+        name="fifo_flags",
+        build=build_fifo_flags,
+        description="FIFO occupancy trackers",
+        parameter_grid=({"depth": 4}, {"depth": 8}, {"depth": 16}),
+    ),
+    DesignFamily(
+        name="register_file",
+        build=build_register_file,
+        description="small register files",
+        parameter_grid=({"width": 8}, {"width": 16}),
+    ),
+]

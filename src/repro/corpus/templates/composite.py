@@ -1,0 +1,331 @@
+"""Composite (long) design families used to populate the larger length bins.
+
+Table II bins designs by code length up to "(200, +inf)".  These templates
+replicate or chain datapath blocks inside a single module so the corpus
+contains designs well beyond 200 lines while staying within the supported
+language subset.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.metadata import DesignArtifact, DesignFamily, PortSpec
+
+
+def build_multichannel_accumulator(name: str, channels: int = 4, width: int = 8) -> DesignArtifact:
+    """N independent burst accumulators sharing a clock, plus a combined flag."""
+    burst = 4
+    cnt_width = 2
+    out_width = width + cnt_width
+    channel_blocks = []
+    port_lines = []
+    ports = [
+        PortSpec("clk", "input", 1, "clock, rising edge active"),
+        PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+    ]
+    behaviour = [
+        f"The module contains {channels} independent accumulator channels.",
+        f"Each channel sums bursts of {burst} valid inputs on its own data/valid pair.",
+        "Each channel's valid_out pulses one cycle after its burst completes.",
+        "all_done is high when every channel's valid_out is high simultaneously.",
+    ]
+    for ch in range(channels):
+        port_lines.append(f"    input wire [{width - 1}:0] data_in_{ch},\n")
+        port_lines.append(f"    input wire valid_in_{ch},\n")
+        port_lines.append(f"    output reg [{out_width - 1}:0] data_out_{ch},\n")
+        port_lines.append(f"    output reg valid_out_{ch},\n")
+        ports.extend(
+            [
+                PortSpec(f"data_in_{ch}", "input", width, f"operand stream for channel {ch}"),
+                PortSpec(f"valid_in_{ch}", "input", 1, f"valid strobe for channel {ch}"),
+                PortSpec(f"data_out_{ch}", "output", out_width, f"running burst sum of channel {ch}"),
+                PortSpec(f"valid_out_{ch}", "output", 1, f"burst-complete pulse of channel {ch}"),
+            ]
+        )
+        channel_blocks.append(
+            f"    reg [{cnt_width - 1}:0] cnt_{ch};\n"
+            f"    wire end_cnt_{ch};\n"
+            f"    assign end_cnt_{ch} = (cnt_{ch} == {cnt_width}'d{burst - 1}) && valid_in_{ch};\n"
+            f"    always @(posedge clk or negedge rst_n) begin\n"
+            f"        if (!rst_n) cnt_{ch} <= {cnt_width}'d0;\n"
+            f"        else if (valid_in_{ch}) begin\n"
+            f"            if (end_cnt_{ch}) cnt_{ch} <= {cnt_width}'d0;\n"
+            f"            else cnt_{ch} <= cnt_{ch} + {cnt_width}'d1;\n"
+            f"        end\n"
+            f"    end\n"
+            f"    always @(posedge clk or negedge rst_n) begin\n"
+            f"        if (!rst_n) data_out_{ch} <= {out_width}'d0;\n"
+            f"        else if (valid_in_{ch}) begin\n"
+            f"            if (cnt_{ch} == {cnt_width}'d0) data_out_{ch} <= data_in_{ch};\n"
+            f"            else data_out_{ch} <= data_out_{ch} + data_in_{ch};\n"
+            f"        end\n"
+            f"    end\n"
+            f"    always @(posedge clk or negedge rst_n) begin\n"
+            f"        if (!rst_n) valid_out_{ch} <= 1'b0;\n"
+            f"        else if (end_cnt_{ch}) valid_out_{ch} <= 1'b1;\n"
+            f"        else valid_out_{ch} <= 1'b0;\n"
+            f"    end\n"
+        )
+    all_done_expr = " && ".join(f"valid_out_{ch}" for ch in range(channels))
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        + "".join(port_lines)
+        + f"    output wire all_done\n"
+        f");\n"
+        + "".join(channel_blocks)
+        + f"    assign all_done = {all_done_expr};\n"
+        f"endmodule\n"
+    )
+    ports.append(PortSpec("all_done", "output", 1, "high when every channel completed a burst together"))
+    svas = [
+        "property p_ch0_valid_out;\n"
+        "    @(posedge clk) disable iff (!rst_n) end_cnt_0 |-> ##1 valid_out_0;\n"
+        "endproperty\n"
+        "a_ch0_valid_out: assert property (p_ch0_valid_out) "
+        "else $error(\"channel 0 valid_out must follow its burst completion\");",
+    ]
+    if channels > 1:
+        svas.append(
+            "property p_ch1_valid_out;\n"
+            "    @(posedge clk) disable iff (!rst_n) end_cnt_1 |-> ##1 valid_out_1;\n"
+            "endproperty\n"
+            "a_ch1_valid_out: assert property (p_ch1_valid_out) "
+            "else $error(\"channel 1 valid_out must follow its burst completion\");"
+        )
+    return DesignArtifact(
+        name=name,
+        family="multichannel_accumulator",
+        source=source,
+        description=f"a bank of {channels} independent {width}-bit burst accumulators",
+        ports=ports,
+        behaviour=behaviour,
+        template_svas=svas,
+        parameters={"channels": channels, "width": width},
+    )
+
+
+def build_pipelined_adder(name: str, stages: int = 4, width: int = 8) -> DesignArtifact:
+    """A pipeline that adds a constant per stage, with a valid bit travelling along."""
+    stage_decls = []
+    stage_logic = []
+    for stage in range(stages):
+        stage_decls.append(f"    reg [{width - 1}:0] stage_data_{stage};\n")
+        stage_decls.append(f"    reg stage_valid_{stage};\n")
+        source_data = "in_data" if stage == 0 else f"stage_data_{stage - 1}"
+        source_valid = "in_valid" if stage == 0 else f"stage_valid_{stage - 1}"
+        stage_logic.append(
+            f"    always @(posedge clk or negedge rst_n) begin\n"
+            f"        if (!rst_n) begin\n"
+            f"            stage_data_{stage} <= {width}'d0;\n"
+            f"            stage_valid_{stage} <= 1'b0;\n"
+            f"        end\n"
+            f"        else begin\n"
+            f"            stage_data_{stage} <= {source_data} + {width}'d{stage + 1};\n"
+            f"            stage_valid_{stage} <= {source_valid};\n"
+            f"        end\n"
+            f"    end\n"
+        )
+    total_offset = sum(range(1, stages + 1))
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire in_valid,\n"
+        f"    input wire [{width - 1}:0] in_data,\n"
+        f"    output wire out_valid,\n"
+        f"    output wire [{width - 1}:0] out_data\n"
+        f");\n"
+        + "".join(stage_decls)
+        + "".join(stage_logic)
+        + f"    assign out_valid = stage_valid_{stages - 1};\n"
+        f"    assign out_data = stage_data_{stages - 1};\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="pipelined_adder",
+        source=source,
+        description=f"a {stages}-stage pipeline that adds {total_offset} to each valid input",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("in_valid", "input", 1, "input valid"),
+            PortSpec("in_data", "input", width, "input operand"),
+            PortSpec("out_valid", "output", 1, f"input valid delayed by {stages} cycles"),
+            PortSpec("out_data", "output", width, f"input operand plus {total_offset}, delayed by {stages} cycles"),
+        ],
+        behaviour=[
+            f"Stage k (1-based) adds the constant k to the data passing through it.",
+            f"A valid bit travels with the data, so out_valid is in_valid delayed by {stages} cycles.",
+            f"After the full pipeline each sample has been increased by {total_offset} in total.",
+            "Reset clears every pipeline register and valid bit.",
+        ],
+        template_svas=[
+            "property p_valid_pipeline;\n"
+            "    @(posedge clk) disable iff (!rst_n) "
+            f"stage_valid_{stages - 2} |=> stage_valid_{stages - 1};\n"
+            "endproperty\n"
+            "a_valid_pipeline: assert property (p_valid_pipeline) "
+            "else $error(\"the valid bit must advance one stage per cycle\");"
+            if stages >= 2
+            else "property p_valid_pipeline;\n"
+            "    @(posedge clk) disable iff (!rst_n) in_valid |=> stage_valid_0;\n"
+            "endproperty\n"
+            "a_valid_pipeline: assert property (p_valid_pipeline) "
+            "else $error(\"the valid bit must advance one stage per cycle\");",
+            "property p_stage0_adds_one;\n"
+            "    @(posedge clk) disable iff (!rst_n) 1'b1 |=> "
+            f"stage_data_0 == $past(in_data) + {width}'d1;\n"
+            "endproperty\n"
+            "a_stage0_adds_one: assert property (p_stage0_adds_one) "
+            "else $error(\"stage 0 must add exactly one to the incoming data\");",
+        ],
+        parameters={"stages": stages, "width": width},
+    )
+
+
+def build_status_datapath(name: str, width: int = 8, channels: int = 2) -> DesignArtifact:
+    """A monitored datapath: per-channel offset adders plus min/max and activity tracking."""
+    max_value = (1 << width) - 1
+    channel_blocks = []
+    port_lines = []
+    ports = [
+        PortSpec("clk", "input", 1, "clock, rising edge active"),
+        PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+        PortSpec("clear", "input", 1, "synchronous clear of the statistics"),
+    ]
+    for ch in range(channels):
+        port_lines.append(f"    input wire [{width - 1}:0] sample_{ch},\n")
+        port_lines.append(f"    input wire sample_valid_{ch},\n")
+        port_lines.append(f"    output reg [{width - 1}:0] latched_{ch},\n")
+        ports.extend(
+            [
+                PortSpec(f"sample_{ch}", "input", width, f"sample stream {ch}"),
+                PortSpec(f"sample_valid_{ch}", "input", 1, f"valid strobe for stream {ch}"),
+                PortSpec(f"latched_{ch}", "output", width, f"last accepted sample of stream {ch}"),
+            ]
+        )
+        channel_blocks.append(
+            f"    always @(posedge clk or negedge rst_n) begin\n"
+            f"        if (!rst_n) latched_{ch} <= {width}'d0;\n"
+            f"        else if (clear) latched_{ch} <= {width}'d0;\n"
+            f"        else if (sample_valid_{ch}) latched_{ch} <= sample_{ch};\n"
+            f"    end\n"
+        )
+    any_valid = " || ".join(f"sample_valid_{ch}" for ch in range(channels))
+    selected = f"sample_0"
+    for ch in range(1, channels):
+        selected = f"(sample_valid_{ch} ? sample_{ch} : {selected})"
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire clear,\n"
+        + "".join(port_lines)
+        + f"    output reg [{width - 1}:0] min_seen,\n"
+        f"    output reg [{width - 1}:0] max_seen,\n"
+        f"    output reg [15:0] accepted_count,\n"
+        f"    output wire any_valid\n"
+        f");\n"
+        f"    wire [{width - 1}:0] active_sample;\n"
+        f"    assign any_valid = {any_valid};\n"
+        f"    assign active_sample = {selected};\n"
+        + "".join(channel_blocks)
+        + f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            min_seen <= {width}'d{max_value};\n"
+        f"            max_seen <= {width}'d0;\n"
+        f"            accepted_count <= 16'd0;\n"
+        f"        end\n"
+        f"        else if (clear) begin\n"
+        f"            min_seen <= {width}'d{max_value};\n"
+        f"            max_seen <= {width}'d0;\n"
+        f"            accepted_count <= 16'd0;\n"
+        f"        end\n"
+        f"        else if (any_valid) begin\n"
+        f"            accepted_count <= accepted_count + 16'd1;\n"
+        f"            if (active_sample < min_seen) min_seen <= active_sample;\n"
+        f"            if (active_sample > max_seen) max_seen <= active_sample;\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    ports.extend(
+        [
+            PortSpec("min_seen", "output", width, "smallest accepted sample since the last clear"),
+            PortSpec("max_seen", "output", width, "largest accepted sample since the last clear"),
+            PortSpec("accepted_count", "output", 16, "number of cycles in which any stream was valid"),
+            PortSpec("any_valid", "output", 1, "high when at least one stream is valid"),
+        ]
+    )
+    return DesignArtifact(
+        name=name,
+        family="status_datapath",
+        source=source,
+        description=f"a {channels}-stream sample monitor with per-stream latches and global min/max statistics",
+        ports=ports,
+        behaviour=[
+            "Each stream latches its sample when its valid strobe is high.",
+            "The statistics block picks the highest-numbered valid stream's sample each cycle "
+            "and updates the global minimum, maximum and acceptance counter.",
+            "clear re-initialises the statistics and the per-stream latches.",
+            "any_valid is high whenever at least one stream presents a valid sample.",
+        ],
+        template_svas=[
+            "property p_minmax_order;\n"
+            "    @(posedge clk) disable iff (!rst_n) (accepted_count != 16'd0) |-> (min_seen <= max_seen);\n"
+            "endproperty\n"
+            "a_minmax_order: assert property (p_minmax_order) "
+            "else $error(\"min_seen may never exceed max_seen once samples were accepted\");",
+            "property p_count_increments;\n"
+            "    @(posedge clk) disable iff (!rst_n) (any_valid && !clear) |=> "
+            "accepted_count == $past(accepted_count) + 1;\n"
+            "endproperty\n"
+            "a_count_increments: assert property (p_count_increments) "
+            "else $error(\"every accepted cycle must increment the acceptance counter\");",
+        ],
+        parameters={"width": width, "channels": channels},
+    )
+
+
+FAMILIES: list[DesignFamily] = [
+    DesignFamily(
+        name="multichannel_accumulator",
+        build=build_multichannel_accumulator,
+        description="banks of independent accumulators (large designs)",
+        parameter_grid=(
+            {"channels": 2, "width": 8},
+            {"channels": 3, "width": 8},
+            {"channels": 4, "width": 8},
+            {"channels": 6, "width": 8},
+            {"channels": 8, "width": 8},
+            {"channels": 9, "width": 8},
+            {"channels": 10, "width": 8},
+        ),
+    ),
+    DesignFamily(
+        name="pipelined_adder",
+        build=build_pipelined_adder,
+        description="constant-offset pipelines (medium to large designs)",
+        parameter_grid=(
+            {"stages": 3, "width": 8},
+            {"stages": 5, "width": 8},
+            {"stages": 8, "width": 8},
+            {"stages": 12, "width": 8},
+            {"stages": 16, "width": 8},
+        ),
+    ),
+    DesignFamily(
+        name="status_datapath",
+        build=build_status_datapath,
+        description="monitored multi-stream datapaths",
+        parameter_grid=(
+            {"width": 8, "channels": 2},
+            {"width": 8, "channels": 3},
+            {"width": 8, "channels": 4},
+            {"width": 8, "channels": 6},
+            {"width": 8, "channels": 8},
+        ),
+    ),
+]

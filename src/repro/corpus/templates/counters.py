@@ -1,0 +1,390 @@
+"""Counter-style design families: counters, dividers, PWM, timeouts."""
+
+from __future__ import annotations
+
+from repro.corpus.metadata import DesignArtifact, DesignFamily, PortSpec
+
+
+def build_up_counter(name: str, width: int = 8, has_enable: int = 1, saturate: int = 0) -> DesignArtifact:
+    """A free-running or enabled up counter that wraps or saturates."""
+    max_value = (1 << width) - 1
+    enable_port = "    input wire en,\n" if has_enable else ""
+    enable_cond = "en" if has_enable else "1'b1"
+    if saturate:
+        update = (
+            f"        else if ({enable_cond}) begin\n"
+            f"            if (count == {width}'d{max_value}) count <= {width}'d{max_value};\n"
+            f"            else count <= count + {width}'d1;\n"
+            f"        end\n"
+        )
+        behaviour_update = (
+            f"When enabled, the counter increments by one each clock cycle and "
+            f"saturates at {max_value} instead of wrapping."
+        )
+    else:
+        update = (
+            f"        else if ({enable_cond}) count <= count + {width}'d1;\n"
+        )
+        behaviour_update = (
+            "When enabled, the counter increments by one each clock cycle and wraps "
+            f"to zero after reaching {max_value}."
+        )
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"{enable_port}"
+        f"    output reg [{width - 1}:0] count,\n"
+        f"    output wire at_max\n"
+        f");\n"
+        f"    assign at_max = (count == {width}'d{max_value});\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) count <= {width}'d0;\n"
+        f"{update}"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    ports = [
+        PortSpec("clk", "input", 1, "clock, rising edge active"),
+        PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+        PortSpec("count", "output", width, "current counter value"),
+        PortSpec("at_max", "output", 1, "high when the counter holds its maximum value"),
+    ]
+    behaviour = [
+        "On reset the counter is cleared to zero.",
+        behaviour_update,
+        "at_max is asserted combinationally whenever count equals its maximum value.",
+    ]
+    if has_enable:
+        ports.insert(2, PortSpec("en", "input", 1, "count enable"))
+        behaviour.insert(1, "The counter only changes in cycles where en is high.")
+    svas = []
+    if has_enable and not saturate:
+        svas.append(
+            "property p_hold_when_disabled;\n"
+            "    @(posedge clk) disable iff (!rst_n) !en |=> count == $past(count);\n"
+            "endproperty\n"
+            "a_hold_when_disabled: assert property (p_hold_when_disabled) "
+            "else $error(\"count must hold its value when en is low\");"
+        )
+    return DesignArtifact(
+        name=name,
+        family="up_counter",
+        source=source,
+        description=f"a {width}-bit up counter"
+        + (" with enable" if has_enable else "")
+        + (" that saturates at its maximum value" if saturate else ""),
+        ports=ports,
+        behaviour=behaviour,
+        template_svas=svas,
+        parameters={"width": width, "has_enable": has_enable, "saturate": saturate},
+    )
+
+
+def build_updown_counter(name: str, width: int = 8) -> DesignArtifact:
+    """An up/down counter with load support."""
+    max_value = (1 << width) - 1
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire load,\n"
+        f"    input wire up,\n"
+        f"    input wire [{width - 1}:0] load_value,\n"
+        f"    output reg [{width - 1}:0] count,\n"
+        f"    output wire is_zero\n"
+        f");\n"
+        f"    assign is_zero = (count == {width}'d0);\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) count <= {width}'d0;\n"
+        f"        else if (load) count <= load_value;\n"
+        f"        else if (up) count <= count + {width}'d1;\n"
+        f"        else count <= count - {width}'d1;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="updown_counter",
+        source=source,
+        description=f"a {width}-bit loadable up/down counter",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("load", "input", 1, "synchronous load strobe, takes priority over counting"),
+            PortSpec("up", "input", 1, "count direction: 1 counts up, 0 counts down"),
+            PortSpec("load_value", "input", width, "value loaded when load is high"),
+            PortSpec("count", "output", width, "current counter value"),
+            PortSpec("is_zero", "output", 1, "high when the counter value is zero"),
+        ],
+        behaviour=[
+            "Reset clears the counter to zero.",
+            "When load is high the counter takes load_value on the next clock edge.",
+            "Otherwise the counter increments when up is high and decrements when up is low.",
+            "is_zero reflects combinationally whether count equals zero.",
+        ],
+        template_svas=[
+            "property p_load_priority;\n"
+            "    @(posedge clk) disable iff (!rst_n) load |=> count == $past(load_value);\n"
+            "endproperty\n"
+            "a_load_priority: assert property (p_load_priority) "
+            "else $error(\"count must take load_value on a load\");"
+        ],
+        parameters={"width": width},
+    )
+
+
+def build_gray_counter(name: str, width: int = 4) -> DesignArtifact:
+    """A binary counter with a registered Gray-coded output."""
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire en,\n"
+        f"    output reg [{width - 1}:0] gray,\n"
+        f"    output reg [{width - 1}:0] binary\n"
+        f");\n"
+        f"    wire [{width - 1}:0] next_binary;\n"
+        f"    assign next_binary = binary + {width}'d1;\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            binary <= {width}'d0;\n"
+        f"            gray <= {width}'d0;\n"
+        f"        end\n"
+        f"        else if (en) begin\n"
+        f"            binary <= next_binary;\n"
+        f"            gray <= next_binary ^ (next_binary >> 1);\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="gray_counter",
+        source=source,
+        description=f"a {width}-bit Gray-code counter with its binary value exposed",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("en", "input", 1, "count enable"),
+            PortSpec("gray", "output", width, "Gray-coded counter value"),
+            PortSpec("binary", "output", width, "binary counter value"),
+        ],
+        behaviour=[
+            "Reset clears both the binary and the Gray outputs.",
+            "When en is high the binary value increments and the Gray output is the "
+            "Gray encoding (binary XOR binary shifted right by one) of the new binary value.",
+            "Consecutive Gray values therefore differ in exactly one bit.",
+        ],
+        template_svas=[
+            "property p_gray_matches_binary;\n"
+            "    @(posedge clk) disable iff (!rst_n) en |=> gray == (binary ^ (binary >> 1));\n"
+            "endproperty\n"
+            "a_gray_matches_binary: assert property (p_gray_matches_binary) "
+            "else $error(\"gray output must equal the gray encoding of binary\");"
+        ],
+        parameters={"width": width},
+    )
+
+
+def build_clock_divider(name: str, divide_by: int = 4) -> DesignArtifact:
+    """A clock-enable divider producing a single-cycle tick every N cycles."""
+    width = max(1, (divide_by - 1).bit_length())
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    output reg tick,\n"
+        f"    output reg [{width - 1}:0] phase\n"
+        f");\n"
+        f"    wire last_phase;\n"
+        f"    assign last_phase = (phase == {width}'d{divide_by - 1});\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) phase <= {width}'d0;\n"
+        f"        else if (last_phase) phase <= {width}'d0;\n"
+        f"        else phase <= phase + {width}'d1;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) tick <= 1'b0;\n"
+        f"        else if (last_phase) tick <= 1'b1;\n"
+        f"        else tick <= 1'b0;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="clock_divider",
+        source=source,
+        description=f"a divide-by-{divide_by} tick generator",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("tick", "output", 1, f"one-cycle pulse every {divide_by} clock cycles"),
+            PortSpec("phase", "output", width, "internal phase counter"),
+        ],
+        behaviour=[
+            f"The phase counter counts from 0 to {divide_by - 1} and wraps.",
+            "tick is registered and goes high for exactly one cycle, the cycle after "
+            "the phase counter reaches its last value.",
+            "Reset clears the phase counter and tick.",
+        ],
+        template_svas=[
+            "property p_tick_after_last_phase;\n"
+            f"    @(posedge clk) disable iff (!rst_n) (phase == {width}'d{divide_by - 1}) |=> tick;\n"
+            "endproperty\n"
+            "a_tick_after_last_phase: assert property (p_tick_after_last_phase) "
+            "else $error(\"tick must pulse the cycle after the last phase\");"
+        ],
+        parameters={"divide_by": divide_by},
+    )
+
+
+def build_pwm(name: str, width: int = 8) -> DesignArtifact:
+    """A PWM generator with a programmable duty threshold."""
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire [{width - 1}:0] duty,\n"
+        f"    output reg pwm_out,\n"
+        f"    output reg [{width - 1}:0] counter\n"
+        f");\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) counter <= {width}'d0;\n"
+        f"        else counter <= counter + {width}'d1;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) pwm_out <= 1'b0;\n"
+        f"        else if (counter < duty) pwm_out <= 1'b1;\n"
+        f"        else pwm_out <= 1'b0;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="pwm",
+        source=source,
+        description=f"a {width}-bit pulse-width modulator",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("duty", "input", width, "duty-cycle threshold"),
+            PortSpec("pwm_out", "output", 1, "modulated output"),
+            PortSpec("counter", "output", width, "free-running period counter"),
+        ],
+        behaviour=[
+            "The period counter free-runs and wraps naturally.",
+            "pwm_out is registered: it is high in the cycle after counter was below duty "
+            "and low otherwise, giving a duty cycle proportional to duty.",
+            "Reset clears the counter and drives pwm_out low.",
+        ],
+        template_svas=[
+            "property p_pwm_low_when_zero_duty;\n"
+            f"    @(posedge clk) disable iff (!rst_n) (duty == {width}'d0) |=> !pwm_out;\n"
+            "endproperty\n"
+            "a_pwm_low_when_zero_duty: assert property (p_pwm_low_when_zero_duty) "
+            "else $error(\"pwm_out must stay low when duty is zero\");"
+        ],
+        parameters={"width": width},
+    )
+
+
+def build_timeout(name: str, width: int = 8) -> DesignArtifact:
+    """A watchdog-style timeout counter with kick and expiry flag."""
+    max_value = (1 << width) - 1
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire kick,\n"
+        f"    input wire [{width - 1}:0] limit,\n"
+        f"    output reg [{width - 1}:0] elapsed,\n"
+        f"    output reg expired\n"
+        f");\n"
+        f"    wire at_limit;\n"
+        f"    assign at_limit = (elapsed >= limit);\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) elapsed <= {width}'d0;\n"
+        f"        else if (kick) elapsed <= {width}'d0;\n"
+        f"        else if (!at_limit) elapsed <= elapsed + {width}'d1;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) expired <= 1'b0;\n"
+        f"        else if (kick) expired <= 1'b0;\n"
+        f"        else if (at_limit) expired <= 1'b1;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="timeout",
+        source=source,
+        description=f"a {width}-bit watchdog timeout counter",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("kick", "input", 1, "restart strobe that clears the elapsed time"),
+            PortSpec("limit", "input", width, "timeout threshold"),
+            PortSpec("elapsed", "output", width, "cycles elapsed since the last kick"),
+            PortSpec("expired", "output", 1, "sticky flag set when elapsed reaches limit"),
+        ],
+        behaviour=[
+            "kick clears the elapsed counter and the expired flag.",
+            "Without a kick, elapsed increments every cycle until it reaches limit and then holds.",
+            "expired becomes high once elapsed has reached limit and stays high until the next kick or reset.",
+        ],
+        template_svas=[
+            "property p_kick_clears;\n"
+            f"    @(posedge clk) disable iff (!rst_n) kick |=> elapsed == {width}'d0;\n"
+            "endproperty\n"
+            "a_kick_clears: assert property (p_kick_clears) "
+            "else $error(\"a kick must clear the elapsed counter\");"
+        ],
+        parameters={"width": width},
+    )
+
+
+FAMILIES: list[DesignFamily] = [
+    DesignFamily(
+        name="up_counter",
+        build=build_up_counter,
+        description="up counters with enable / saturation options",
+        parameter_grid=(
+            {"width": 4, "has_enable": 1, "saturate": 0},
+            {"width": 8, "has_enable": 1, "saturate": 0},
+            {"width": 8, "has_enable": 0, "saturate": 0},
+            {"width": 6, "has_enable": 1, "saturate": 1},
+            {"width": 12, "has_enable": 1, "saturate": 1},
+        ),
+    ),
+    DesignFamily(
+        name="updown_counter",
+        build=build_updown_counter,
+        description="loadable up/down counters",
+        parameter_grid=({"width": 4}, {"width": 8}, {"width": 10}),
+    ),
+    DesignFamily(
+        name="gray_counter",
+        build=build_gray_counter,
+        description="Gray-code counters",
+        parameter_grid=({"width": 4}, {"width": 6}, {"width": 8}),
+    ),
+    DesignFamily(
+        name="clock_divider",
+        build=build_clock_divider,
+        description="clock tick dividers",
+        parameter_grid=({"divide_by": 3}, {"divide_by": 4}, {"divide_by": 6}, {"divide_by": 10}),
+    ),
+    DesignFamily(
+        name="pwm",
+        build=build_pwm,
+        description="pulse-width modulators",
+        parameter_grid=({"width": 6}, {"width": 8}),
+    ),
+    DesignFamily(
+        name="timeout",
+        build=build_timeout,
+        description="watchdog timeout counters",
+        parameter_grid=({"width": 6}, {"width": 8}, {"width": 10}),
+    ),
+]

@@ -1,0 +1,461 @@
+"""Datapath design families: accumulators, ALUs, comparators, trackers."""
+
+from __future__ import annotations
+
+from repro.corpus.metadata import DesignArtifact, DesignFamily, PortSpec
+
+
+def build_accumulator(name: str, width: int = 8, burst: int = 4) -> DesignArtifact:
+    """The paper's motivating example: accumulate a burst of inputs, flag completion."""
+    cnt_width = max(1, (burst - 1).bit_length())
+    out_width = width + cnt_width
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire [{width - 1}:0] data_in,\n"
+        f"    input wire valid_in,\n"
+        f"    output reg [{out_width - 1}:0] data_out,\n"
+        f"    output reg valid_out\n"
+        f");\n"
+        f"    reg [{cnt_width - 1}:0] cnt;\n"
+        f"    wire end_cnt;\n"
+        f"    assign end_cnt = (cnt == {cnt_width}'d{burst - 1}) && valid_in;\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) cnt <= {cnt_width}'d0;\n"
+        f"        else if (valid_in) begin\n"
+        f"            if (end_cnt) cnt <= {cnt_width}'d0;\n"
+        f"            else cnt <= cnt + {cnt_width}'d1;\n"
+        f"        end\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) data_out <= {out_width}'d0;\n"
+        f"        else if (valid_in) begin\n"
+        f"            if (cnt == {cnt_width}'d0) data_out <= data_in;\n"
+        f"            else data_out <= data_out + data_in;\n"
+        f"        end\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) valid_out <= 1'b0;\n"
+        f"        else if (end_cnt) valid_out <= 1'b1;\n"
+        f"        else valid_out <= 1'b0;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="accumulator",
+        source=source,
+        description=f"an accumulator that sums bursts of {burst} valid {width}-bit inputs",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("data_in", "input", width, "input operand"),
+            PortSpec("valid_in", "input", 1, "input valid strobe"),
+            PortSpec("data_out", "output", out_width, f"running sum of the current burst of {burst} inputs"),
+            PortSpec("valid_out", "output", 1, f"pulses for one cycle when a burst of {burst} inputs completes"),
+        ],
+        behaviour=[
+            f"An internal counter counts valid inputs from 0 to {burst - 1}.",
+            "On the first valid input of a burst the accumulator loads data_in; on later "
+            "valid inputs it adds data_in to the running sum.",
+            f"valid_out must be high exactly one cycle after the {burst}-th valid input of a burst.",
+            "valid_out is low in all other cycles.",
+        ],
+        template_svas=[
+            "property p_valid_out_follows_end;\n"
+            "    @(posedge clk) disable iff (!rst_n) end_cnt |-> ##1 valid_out == 1;\n"
+            "endproperty\n"
+            "a_valid_out_follows_end: assert property (p_valid_out_follows_end) "
+            "else $error(\"valid_out should be high one cycle after the burst completes\");",
+            "property p_valid_out_only_after_end;\n"
+            "    @(posedge clk) disable iff (!rst_n) !end_cnt |-> ##1 valid_out == 0;\n"
+            "endproperty\n"
+            "a_valid_out_only_after_end: assert property (p_valid_out_only_after_end) "
+            "else $error(\"valid_out must stay low unless a burst just completed\");",
+        ],
+        parameters={"width": width, "burst": burst},
+    )
+
+
+def build_alu(name: str, width: int = 8, registered: int = 1) -> DesignArtifact:
+    """A small ALU with add/sub/and/or/xor/shift operations and a zero flag."""
+    ops = [
+        ("3'd0", "a + b", "addition"),
+        ("3'd1", "a - b", "subtraction"),
+        ("3'd2", "a & b", "bitwise AND"),
+        ("3'd3", "a | b", "bitwise OR"),
+        ("3'd4", "a ^ b", "bitwise XOR"),
+        ("3'd5", "a << 1", "shift a left by one"),
+        ("3'd6", "a >> 1", "shift a right by one"),
+    ]
+    case_lines = "".join(
+        f"            {code}: alu_result = {expr};\n" for code, expr, _ in ops
+    )
+    comb = (
+        f"    always @(*) begin\n"
+        f"        case (op)\n"
+        f"{case_lines}"
+        f"            default: alu_result = {width}'d0;\n"
+        f"        endcase\n"
+        f"    end\n"
+    )
+    if registered:
+        output_logic = (
+            f"    always @(posedge clk or negedge rst_n) begin\n"
+            f"        if (!rst_n) result <= {width}'d0;\n"
+            f"        else if (start) result <= alu_result;\n"
+            f"    end\n"
+            f"    always @(posedge clk or negedge rst_n) begin\n"
+            f"        if (!rst_n) zero <= 1'b0;\n"
+            f"        else if (start) zero <= (alu_result == {width}'d0);\n"
+            f"    end\n"
+        )
+        result_decl = f"    output reg [{width - 1}:0] result,\n    output reg zero\n"
+    else:
+        output_logic = (
+            f"    assign result = alu_result;\n"
+            f"    assign zero = (alu_result == {width}'d0);\n"
+        )
+        result_decl = f"    output wire [{width - 1}:0] result,\n    output wire zero\n"
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire start,\n"
+        f"    input wire [2:0] op,\n"
+        f"    input wire [{width - 1}:0] a,\n"
+        f"    input wire [{width - 1}:0] b,\n"
+        f"{result_decl}"
+        f");\n"
+        f"    reg [{width - 1}:0] alu_result;\n"
+        f"{comb}"
+        f"{output_logic}"
+        f"endmodule\n"
+    )
+    behaviour = [f"Opcode {code} computes {desc}." for code, _, desc in ops]
+    behaviour.append("Any other opcode produces zero.")
+    if registered:
+        behaviour.append("The result and the zero flag are registered and only update when start is high.")
+        behaviour.append("The zero flag is high when the captured result is zero.")
+    else:
+        behaviour.append("The result and the zero flag are purely combinational.")
+    svas = []
+    if registered:
+        svas.append(
+            "property p_result_holds_without_start;\n"
+            "    @(posedge clk) disable iff (!rst_n) !start |=> result == $past(result);\n"
+            "endproperty\n"
+            "a_result_holds_without_start: assert property (p_result_holds_without_start) "
+            "else $error(\"result must hold when start is low\");"
+        )
+    return DesignArtifact(
+        name=name,
+        family="alu",
+        source=source,
+        description=f"a {width}-bit arithmetic/logic unit with seven operations"
+        + (" and registered outputs" if registered else ""),
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("start", "input", 1, "capture strobe for the registered result"),
+            PortSpec("op", "input", 3, "operation select"),
+            PortSpec("a", "input", width, "first operand"),
+            PortSpec("b", "input", width, "second operand"),
+            PortSpec("result", "output", width, "operation result"),
+            PortSpec("zero", "output", 1, "high when the result is zero"),
+        ],
+        behaviour=behaviour,
+        template_svas=svas,
+        parameters={"width": width, "registered": registered},
+    )
+
+
+def build_saturating_adder(name: str, width: int = 8) -> DesignArtifact:
+    """An unsigned adder that saturates instead of wrapping."""
+    max_value = (1 << width) - 1
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire valid,\n"
+        f"    input wire [{width - 1}:0] a,\n"
+        f"    input wire [{width - 1}:0] b,\n"
+        f"    output reg [{width - 1}:0] sum,\n"
+        f"    output reg overflow\n"
+        f");\n"
+        f"    wire [{width}:0] wide_sum;\n"
+        f"    assign wide_sum = {{1'b0, a}} + {{1'b0, b}};\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            sum <= {width}'d0;\n"
+        f"            overflow <= 1'b0;\n"
+        f"        end\n"
+        f"        else if (valid) begin\n"
+        f"            if (wide_sum > {width + 1}'d{max_value}) begin\n"
+        f"                sum <= {width}'d{max_value};\n"
+        f"                overflow <= 1'b1;\n"
+        f"            end\n"
+        f"            else begin\n"
+        f"                sum <= wide_sum[{width - 1}:0];\n"
+        f"                overflow <= 1'b0;\n"
+        f"            end\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="saturating_adder",
+        source=source,
+        description=f"a {width}-bit saturating unsigned adder with an overflow flag",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("valid", "input", 1, "input valid strobe"),
+            PortSpec("a", "input", width, "first addend"),
+            PortSpec("b", "input", width, "second addend"),
+            PortSpec("sum", "output", width, "saturated sum, captured when valid is high"),
+            PortSpec("overflow", "output", 1, "high when the true sum exceeded the output range"),
+        ],
+        behaviour=[
+            "When valid is high the module captures the sum of a and b.",
+            f"If the true sum exceeds {max_value} the output saturates at {max_value} and overflow is set.",
+            "Otherwise the exact sum is captured and overflow is cleared.",
+            "When valid is low, sum and overflow hold their previous values.",
+        ],
+        template_svas=[
+            "property p_saturation_flag;\n"
+            "    @(posedge clk) disable iff (!rst_n) "
+            f"(valid && (({{1'b0, a}} + {{1'b0, b}}) > {width + 1}'d{max_value})) |=> (sum == {width}'d{max_value} && overflow);\n"
+            "endproperty\n"
+            "a_saturation_flag: assert property (p_saturation_flag) "
+            "else $error(\"an overflowing addition must saturate and raise overflow\");"
+        ],
+        parameters={"width": width},
+    )
+
+
+def build_minmax_tracker(name: str, width: int = 8) -> DesignArtifact:
+    """Tracks the minimum and maximum of a sample stream."""
+    max_value = (1 << width) - 1
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire clear,\n"
+        f"    input wire sample_valid,\n"
+        f"    input wire [{width - 1}:0] sample,\n"
+        f"    output reg [{width - 1}:0] min_value,\n"
+        f"    output reg [{width - 1}:0] max_value,\n"
+        f"    output reg seen_any\n"
+        f");\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            min_value <= {width}'d{max_value};\n"
+        f"            max_value <= {width}'d0;\n"
+        f"            seen_any <= 1'b0;\n"
+        f"        end\n"
+        f"        else if (clear) begin\n"
+        f"            min_value <= {width}'d{max_value};\n"
+        f"            max_value <= {width}'d0;\n"
+        f"            seen_any <= 1'b0;\n"
+        f"        end\n"
+        f"        else if (sample_valid) begin\n"
+        f"            seen_any <= 1'b1;\n"
+        f"            if (sample < min_value) min_value <= sample;\n"
+        f"            if (sample > max_value) max_value <= sample;\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="minmax_tracker",
+        source=source,
+        description=f"a running minimum/maximum tracker over a stream of {width}-bit samples",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("clear", "input", 1, "synchronous clear of the tracked extremes"),
+            PortSpec("sample_valid", "input", 1, "sample valid strobe"),
+            PortSpec("sample", "input", width, "input sample"),
+            PortSpec("min_value", "output", width, "smallest sample seen since the last clear"),
+            PortSpec("max_value", "output", width, "largest sample seen since the last clear"),
+            PortSpec("seen_any", "output", 1, "high once at least one sample was accepted"),
+        ],
+        behaviour=[
+            f"Reset and clear initialise min_value to {max_value} and max_value to 0 and clear seen_any.",
+            "Each valid sample updates min_value/max_value when it is smaller/larger than the stored extreme.",
+            "seen_any is set by the first valid sample after a clear.",
+        ],
+        template_svas=[
+            "property p_minmax_ordering;\n"
+            "    @(posedge clk) disable iff (!rst_n) seen_any |-> (min_value <= max_value);\n"
+            "endproperty\n"
+            "a_minmax_ordering: assert property (p_minmax_ordering) "
+            "else $error(\"min_value may never exceed max_value once samples were seen\");"
+        ],
+        parameters={"width": width},
+    )
+
+
+def build_serial_parity(name: str, even: int = 1) -> DesignArtifact:
+    """A serial parity accumulator over a bit stream."""
+    init = "1'b0" if even else "1'b1"
+    parity_name = "even" if even else "odd"
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire clear,\n"
+        f"    input wire bit_valid,\n"
+        f"    input wire bit_in,\n"
+        f"    output reg parity,\n"
+        f"    output reg [7:0] bit_count\n"
+        f");\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            parity <= {init};\n"
+        f"            bit_count <= 8'd0;\n"
+        f"        end\n"
+        f"        else if (clear) begin\n"
+        f"            parity <= {init};\n"
+        f"            bit_count <= 8'd0;\n"
+        f"        end\n"
+        f"        else if (bit_valid) begin\n"
+        f"            parity <= parity ^ bit_in;\n"
+        f"            bit_count <= bit_count + 8'd1;\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="serial_parity",
+        source=source,
+        description=f"a serial {parity_name}-parity accumulator over an input bit stream",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("clear", "input", 1, "synchronous clear of the parity accumulator"),
+            PortSpec("bit_valid", "input", 1, "input bit valid strobe"),
+            PortSpec("bit_in", "input", 1, "serial data bit"),
+            PortSpec("parity", "output", 1, f"running {parity_name} parity of the accepted bits"),
+            PortSpec("bit_count", "output", 8, "number of bits accepted since the last clear"),
+        ],
+        behaviour=[
+            f"Reset and clear set parity to {init} and clear the bit counter.",
+            "Each valid bit XORs into the parity register and increments the bit counter.",
+            "Bits are ignored while bit_valid is low.",
+        ],
+        template_svas=[
+            "property p_parity_toggle;\n"
+            "    @(posedge clk) disable iff (!rst_n) (bit_valid && bit_in && !clear) |=> parity == !$past(parity);\n"
+            "endproperty\n"
+            "a_parity_toggle: assert property (p_parity_toggle) "
+            "else $error(\"an accepted 1 bit must toggle the parity\");"
+        ],
+        parameters={"even": even},
+    )
+
+
+def build_threshold_detector(name: str, width: int = 8, hysteresis: int = 4) -> DesignArtifact:
+    """A comparator with hysteresis (Schmitt-trigger style)."""
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire [{width - 1}:0] level,\n"
+        f"    input wire [{width - 1}:0] threshold,\n"
+        f"    output reg above\n"
+        f");\n"
+        f"    wire [{width - 1}:0] low_threshold;\n"
+        f"    assign low_threshold = threshold - {width}'d{hysteresis};\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) above <= 1'b0;\n"
+        f"        else if (!above && (level >= threshold)) above <= 1'b1;\n"
+        f"        else if (above && (level < low_threshold)) above <= 1'b0;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="threshold_detector",
+        source=source,
+        description=f"a {width}-bit threshold detector with a hysteresis band of {hysteresis}",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("level", "input", width, "measured level"),
+            PortSpec("threshold", "input", width, "upper switching threshold"),
+            PortSpec("above", "output", 1, "high while the level is considered above the threshold"),
+        ],
+        behaviour=[
+            "above rises when the level reaches the threshold while the detector was low.",
+            f"above falls only when the level drops below threshold minus {hysteresis}.",
+            "Between the two thresholds the previous decision is held (hysteresis).",
+        ],
+        template_svas=[
+            "property p_rise_on_threshold;\n"
+            "    @(posedge clk) disable iff (!rst_n) (!above && (level >= threshold)) |=> above;\n"
+            "endproperty\n"
+            "a_rise_on_threshold: assert property (p_rise_on_threshold) "
+            "else $error(\"the detector must switch high when the level reaches the threshold\");"
+        ],
+        parameters={"width": width, "hysteresis": hysteresis},
+    )
+
+
+FAMILIES: list[DesignFamily] = [
+    DesignFamily(
+        name="accumulator",
+        build=build_accumulator,
+        description="burst accumulators (the paper's motivating example)",
+        parameter_grid=(
+            {"width": 8, "burst": 4},
+            {"width": 4, "burst": 4},
+            {"width": 8, "burst": 8},
+            {"width": 12, "burst": 4},
+        ),
+    ),
+    DesignFamily(
+        name="alu",
+        build=build_alu,
+        description="small ALUs with registered or combinational outputs",
+        parameter_grid=(
+            {"width": 8, "registered": 1},
+            {"width": 8, "registered": 0},
+            {"width": 16, "registered": 1},
+            {"width": 4, "registered": 1},
+        ),
+    ),
+    DesignFamily(
+        name="saturating_adder",
+        build=build_saturating_adder,
+        description="saturating adders",
+        parameter_grid=({"width": 8}, {"width": 6}, {"width": 12}),
+    ),
+    DesignFamily(
+        name="minmax_tracker",
+        build=build_minmax_tracker,
+        description="running min/max trackers",
+        parameter_grid=({"width": 8}, {"width": 6}),
+    ),
+    DesignFamily(
+        name="serial_parity",
+        build=build_serial_parity,
+        description="serial parity accumulators",
+        parameter_grid=({"even": 1}, {"even": 0}),
+    ),
+    DesignFamily(
+        name="threshold_detector",
+        build=build_threshold_detector,
+        description="threshold detectors with hysteresis",
+        parameter_grid=(
+            {"width": 8, "hysteresis": 4},
+            {"width": 8, "hysteresis": 8},
+            {"width": 6, "hysteresis": 2},
+        ),
+    ),
+]

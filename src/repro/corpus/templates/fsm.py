@@ -1,0 +1,313 @@
+"""Finite-state-machine design families."""
+
+from __future__ import annotations
+
+from repro.corpus.metadata import DesignArtifact, DesignFamily, PortSpec
+
+
+def build_sequence_detector(name: str, pattern: str = "1011") -> DesignArtifact:
+    """A Moore FSM detecting a binary pattern on a serial input (with overlap)."""
+    length = len(pattern)
+    state_width = max(1, length.bit_length())
+    # State k means "the first k bits of the pattern have been seen".
+    transitions: list[str] = []
+    for state in range(length):
+        expected = pattern[state]
+        # On the expected bit, advance; otherwise fall back to the longest
+        # prefix of the pattern that is a suffix of what has been seen.
+        seen = pattern[:state]
+        on_match = state + 1
+        mismatch_bit = "0" if expected == "1" else "1"
+        fallback_source = seen + mismatch_bit
+        on_mismatch = 0
+        for k in range(min(len(fallback_source), length - 1), 0, -1):
+            if fallback_source.endswith(pattern[:k]):
+                on_mismatch = k
+                break
+        transitions.append(
+            f"            {state_width}'d{state}: begin\n"
+            f"                if (bit_in == 1'b{expected}) state <= {state_width}'d{on_match % (length + 1)};\n"
+            f"                else state <= {state_width}'d{on_mismatch};\n"
+            f"            end\n"
+        )
+    # Accepting state: restart, honouring overlap.
+    overlap_state = 0
+    for k in range(length - 1, 0, -1):
+        if pattern.endswith(pattern[:k]):
+            overlap_state = k
+            break
+    transitions.append(
+        f"            {state_width}'d{length}: begin\n"
+        f"                if (bit_in == 1'b{pattern[overlap_state] if overlap_state < length else pattern[0]}) "
+        f"state <= {state_width}'d{overlap_state + 1};\n"
+        f"                else state <= {state_width}'d0;\n"
+        f"            end\n"
+    )
+    transition_block = "".join(transitions)
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire bit_valid,\n"
+        f"    input wire bit_in,\n"
+        f"    output wire detected,\n"
+        f"    output reg [{state_width - 1}:0] state\n"
+        f");\n"
+        f"    assign detected = (state == {state_width}'d{length});\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) state <= {state_width}'d0;\n"
+        f"        else if (bit_valid) begin\n"
+        f"            case (state)\n"
+        f"{transition_block}"
+        f"            default: state <= {state_width}'d0;\n"
+        f"            endcase\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="sequence_detector",
+        source=source,
+        description=f"a Moore FSM that detects the serial bit pattern {pattern} with overlap",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("bit_valid", "input", 1, "serial bit valid strobe"),
+            PortSpec("bit_in", "input", 1, "serial data bit"),
+            PortSpec("detected", "output", 1, f"high while the FSM is in the accepting state (pattern {pattern} seen)"),
+            PortSpec("state", "output", state_width, "current FSM state (number of pattern bits matched)"),
+        ],
+        behaviour=[
+            f"The FSM state counts how many leading bits of the pattern {pattern} have been matched.",
+            "Bits are consumed only when bit_valid is high.",
+            "On a mismatch the FSM falls back to the longest prefix that is still matched.",
+            f"detected is asserted while the full pattern has just been matched (state == {length}).",
+            "Detection allows overlapping occurrences of the pattern.",
+        ],
+        template_svas=[
+            "property p_state_in_range;\n"
+            f"    @(posedge clk) disable iff (!rst_n) state <= {state_width}'d{length};\n"
+            "endproperty\n"
+            "a_state_in_range: assert property (p_state_in_range) "
+            "else $error(\"the FSM state must stay within its defined range\");",
+            "property p_detect_means_accepting;\n"
+            f"    @(posedge clk) disable iff (!rst_n) detected |-> state == {state_width}'d{length};\n"
+            "endproperty\n"
+            "a_detect_means_accepting: assert property (p_detect_means_accepting) "
+            "else $error(\"detected may only be high in the accepting state\");",
+        ],
+        parameters={"pattern": pattern},
+    )
+
+
+def build_traffic_light(name: str, green_cycles: int = 5, yellow_cycles: int = 2, red_cycles: int = 4) -> DesignArtifact:
+    """A traffic-light controller FSM with per-phase timers."""
+    timer_width = max(green_cycles, yellow_cycles, red_cycles).bit_length()
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire enable,\n"
+        f"    output reg [1:0] light,\n"
+        f"    output reg [{timer_width - 1}:0] timer\n"
+        f");\n"
+        f"    localparam RED = 2'd0;\n"
+        f"    localparam GREEN = 2'd1;\n"
+        f"    localparam YELLOW = 2'd2;\n"
+        f"    wire phase_done;\n"
+        f"    assign phase_done = (timer == {timer_width}'d0);\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            light <= RED;\n"
+        f"            timer <= {timer_width}'d{red_cycles - 1};\n"
+        f"        end\n"
+        f"        else if (enable) begin\n"
+        f"            if (phase_done) begin\n"
+        f"                case (light)\n"
+        f"                    RED: begin\n"
+        f"                        light <= GREEN;\n"
+        f"                        timer <= {timer_width}'d{green_cycles - 1};\n"
+        f"                    end\n"
+        f"                    GREEN: begin\n"
+        f"                        light <= YELLOW;\n"
+        f"                        timer <= {timer_width}'d{yellow_cycles - 1};\n"
+        f"                    end\n"
+        f"                    YELLOW: begin\n"
+        f"                        light <= RED;\n"
+        f"                        timer <= {timer_width}'d{red_cycles - 1};\n"
+        f"                    end\n"
+        f"                    default: begin\n"
+        f"                        light <= RED;\n"
+        f"                        timer <= {timer_width}'d{red_cycles - 1};\n"
+        f"                    end\n"
+        f"                endcase\n"
+        f"            end\n"
+        f"            else timer <= timer - {timer_width}'d1;\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="traffic_light",
+        source=source,
+        description="a three-phase traffic light controller with per-phase timers",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("enable", "input", 1, "controller enable"),
+            PortSpec("light", "output", 2, "current phase: 0 = red, 1 = green, 2 = yellow"),
+            PortSpec("timer", "output", timer_width, "cycles remaining in the current phase"),
+        ],
+        behaviour=[
+            f"Reset puts the controller in the red phase with the timer loaded to {red_cycles - 1}.",
+            "While enabled, the timer counts down; when it reaches zero the controller advances "
+            "to the next phase (red -> green -> yellow -> red) and reloads the timer for that phase.",
+            f"Phase durations are {red_cycles} cycles red, {green_cycles} cycles green and {yellow_cycles} cycles yellow.",
+            "The phase encoding 2'd3 is illegal and must never be produced.",
+        ],
+        template_svas=[
+            "property p_legal_phase;\n"
+            "    @(posedge clk) disable iff (!rst_n) light != 2'd3;\n"
+            "endproperty\n"
+            "a_legal_phase: assert property (p_legal_phase) "
+            "else $error(\"the controller must never enter the illegal phase encoding\");",
+            "property p_red_to_green;\n"
+            "    @(posedge clk) disable iff (!rst_n) (enable && phase_done && light == 2'd0) |=> light == 2'd1;\n"
+            "endproperty\n"
+            "a_red_to_green: assert property (p_red_to_green) "
+            "else $error(\"red must be followed by green when its timer expires\");",
+        ],
+        parameters={
+            "green_cycles": green_cycles,
+            "yellow_cycles": yellow_cycles,
+            "red_cycles": red_cycles,
+        },
+    )
+
+
+def build_handshake(name: str, timeout: int = 8) -> DesignArtifact:
+    """A request/acknowledge handshake master FSM with timeout retry."""
+    timer_width = max(1, timeout.bit_length())
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire start,\n"
+        f"    input wire ack,\n"
+        f"    output reg req,\n"
+        f"    output reg busy,\n"
+        f"    output reg done,\n"
+        f"    output reg [{timer_width - 1}:0] wait_cnt\n"
+        f");\n"
+        f"    localparam IDLE = 2'd0;\n"
+        f"    localparam REQUEST = 2'd1;\n"
+        f"    localparam FINISH = 2'd2;\n"
+        f"    reg [1:0] state;\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            state <= IDLE;\n"
+        f"            req <= 1'b0;\n"
+        f"            busy <= 1'b0;\n"
+        f"            done <= 1'b0;\n"
+        f"            wait_cnt <= {timer_width}'d0;\n"
+        f"        end\n"
+        f"        else begin\n"
+        f"            done <= 1'b0;\n"
+        f"            case (state)\n"
+        f"                IDLE: begin\n"
+        f"                    if (start) begin\n"
+        f"                        state <= REQUEST;\n"
+        f"                        req <= 1'b1;\n"
+        f"                        busy <= 1'b1;\n"
+        f"                        wait_cnt <= {timer_width}'d0;\n"
+        f"                    end\n"
+        f"                end\n"
+        f"                REQUEST: begin\n"
+        f"                    if (ack) begin\n"
+        f"                        state <= FINISH;\n"
+        f"                        req <= 1'b0;\n"
+        f"                    end\n"
+        f"                    else if (wait_cnt == {timer_width}'d{timeout - 1}) begin\n"
+        f"                        wait_cnt <= {timer_width}'d0;\n"
+        f"                    end\n"
+        f"                    else wait_cnt <= wait_cnt + {timer_width}'d1;\n"
+        f"                end\n"
+        f"                FINISH: begin\n"
+        f"                    state <= IDLE;\n"
+        f"                    busy <= 1'b0;\n"
+        f"                    done <= 1'b1;\n"
+        f"                end\n"
+        f"                default: state <= IDLE;\n"
+        f"            endcase\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="handshake",
+        source=source,
+        description="a request/acknowledge handshake master with a retry timer",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("start", "input", 1, "start a new transaction when idle"),
+            PortSpec("ack", "input", 1, "acknowledge from the peer"),
+            PortSpec("req", "output", 1, "request to the peer, held until acknowledged"),
+            PortSpec("busy", "output", 1, "high while a transaction is in flight"),
+            PortSpec("done", "output", 1, "one-cycle completion pulse"),
+            PortSpec("wait_cnt", "output", timer_width, "cycles spent waiting for the acknowledge"),
+        ],
+        behaviour=[
+            "A start pulse while idle raises req and busy and enters the REQUEST state.",
+            "req stays asserted until ack is observed; the wait counter tracks the waiting time "
+            f"and wraps after {timeout} cycles.",
+            "When ack arrives the FSM drops req, then pulses done for one cycle and returns to idle.",
+            "busy covers the whole transaction from start to the done pulse.",
+        ],
+        template_svas=[
+            "property p_ack_drops_req;\n"
+            "    @(posedge clk) disable iff (!rst_n) (req && ack) |=> !req;\n"
+            "endproperty\n"
+            "a_ack_drops_req: assert property (p_ack_drops_req) "
+            "else $error(\"req must drop in the cycle after it is acknowledged\");",
+            "property p_done_after_finish;\n"
+            "    @(posedge clk) disable iff (!rst_n) (req && ack) |=> ##1 done;\n"
+            "endproperty\n"
+            "a_done_after_finish: assert property (p_done_after_finish) "
+            "else $error(\"done must pulse two cycles after the acknowledged request\");",
+        ],
+        parameters={"timeout": timeout},
+    )
+
+
+FAMILIES: list[DesignFamily] = [
+    DesignFamily(
+        name="sequence_detector",
+        build=build_sequence_detector,
+        description="serial pattern detectors",
+        parameter_grid=(
+            {"pattern": "1011"},
+            {"pattern": "1101"},
+            {"pattern": "111"},
+            {"pattern": "10010"},
+        ),
+    ),
+    DesignFamily(
+        name="traffic_light",
+        build=build_traffic_light,
+        description="traffic light controllers",
+        parameter_grid=(
+            {"green_cycles": 5, "yellow_cycles": 2, "red_cycles": 4},
+            {"green_cycles": 8, "yellow_cycles": 3, "red_cycles": 6},
+        ),
+    ),
+    DesignFamily(
+        name="handshake",
+        build=build_handshake,
+        description="request/acknowledge handshake masters",
+        parameter_grid=({"timeout": 8}, {"timeout": 4}, {"timeout": 16}),
+    ),
+]

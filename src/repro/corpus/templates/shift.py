@@ -1,0 +1,349 @@
+"""Shift-register-style design families: SIPO, LFSR, edge detection, CDC."""
+
+from __future__ import annotations
+
+from repro.corpus.metadata import DesignArtifact, DesignFamily, PortSpec
+
+
+def build_shift_register(name: str, width: int = 8, direction: str = "left") -> DesignArtifact:
+    """A serial-in parallel-out shift register with a done flag."""
+    if direction == "left":
+        shift_expr = f"{{data[{width - 2}:0], serial_in}}"
+        direction_text = "towards the most significant bit"
+    else:
+        shift_expr = f"{{serial_in, data[{width - 1}:1]}}"
+        direction_text = "towards the least significant bit"
+    cnt_width = max(1, width.bit_length())
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire shift_en,\n"
+        f"    input wire serial_in,\n"
+        f"    output reg [{width - 1}:0] data,\n"
+        f"    output reg word_ready\n"
+        f");\n"
+        f"    reg [{cnt_width - 1}:0] bit_cnt;\n"
+        f"    wire last_bit;\n"
+        f"    assign last_bit = (bit_cnt == {cnt_width}'d{width - 1}) && shift_en;\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) data <= {width}'d0;\n"
+        f"        else if (shift_en) data <= {shift_expr};\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) bit_cnt <= {cnt_width}'d0;\n"
+        f"        else if (shift_en) begin\n"
+        f"            if (last_bit) bit_cnt <= {cnt_width}'d0;\n"
+        f"            else bit_cnt <= bit_cnt + {cnt_width}'d1;\n"
+        f"        end\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) word_ready <= 1'b0;\n"
+        f"        else if (last_bit) word_ready <= 1'b1;\n"
+        f"        else word_ready <= 1'b0;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="shift_register",
+        source=source,
+        description=f"a {width}-bit serial-in parallel-out shift register shifting {direction_text}",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("shift_en", "input", 1, "shift enable"),
+            PortSpec("serial_in", "input", 1, "serial data input"),
+            PortSpec("data", "output", width, "parallel shift register contents"),
+            PortSpec("word_ready", "output", 1, f"pulses after every {width} shifted bits"),
+        ],
+        behaviour=[
+            f"Each enabled cycle shifts serial_in into the register {direction_text}.",
+            f"An internal bit counter counts shifted bits; word_ready pulses for one cycle "
+            f"after every group of {width} bits.",
+            "Reset clears the register, the bit counter and word_ready.",
+        ],
+        template_svas=[
+            "property p_word_ready_after_last_bit;\n"
+            "    @(posedge clk) disable iff (!rst_n) last_bit |=> word_ready;\n"
+            "endproperty\n"
+            "a_word_ready_after_last_bit: assert property (p_word_ready_after_last_bit) "
+            "else $error(\"word_ready must pulse after the last bit of a word\");",
+        ],
+        parameters={"width": width, "direction": direction},
+    )
+
+
+def build_lfsr(name: str, width: int = 8) -> DesignArtifact:
+    """A Fibonacci LFSR with a lockup-escape (never all-zero) guarantee."""
+    taps = {4: (3, 2), 5: (4, 2), 6: (5, 4), 7: (6, 5), 8: (7, 5), 12: (11, 5), 16: (15, 13)}
+    tap_a, tap_b = taps.get(width, (width - 1, width - 2))
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire run,\n"
+        f"    output reg [{width - 1}:0] state,\n"
+        f"    output wire feedback\n"
+        f");\n"
+        f"    assign feedback = state[{tap_a}] ^ state[{tap_b}];\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) state <= {width}'d1;\n"
+        f"        else if (run) begin\n"
+        f"            if (state == {width}'d0) state <= {width}'d1;\n"
+        f"            else state <= {{state[{width - 2}:0], feedback}};\n"
+        f"        end\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="lfsr",
+        source=source,
+        description=f"a {width}-bit Fibonacci linear feedback shift register",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("run", "input", 1, "advance enable"),
+            PortSpec("state", "output", width, "current LFSR state"),
+            PortSpec("feedback", "output", 1, f"XOR of taps {tap_a} and {tap_b}"),
+        ],
+        behaviour=[
+            "Reset seeds the register with the value 1.",
+            f"Each enabled cycle shifts the state left by one and inserts the feedback bit "
+            f"(state[{tap_a}] XOR state[{tap_b}]) at the least significant position.",
+            "If the state ever becomes all-zero it is reseeded with 1 to escape lockup.",
+        ],
+        template_svas=[
+            "property p_never_stuck_at_zero;\n"
+            f"    @(posedge clk) disable iff (!rst_n) (run && state == {width}'d0) |=> state != {width}'d0;\n"
+            "endproperty\n"
+            "a_never_stuck_at_zero: assert property (p_never_stuck_at_zero) "
+            "else $error(\"the LFSR must escape the all-zero lockup state\");"
+        ],
+        parameters={"width": width},
+    )
+
+
+def build_edge_detector(name: str, kind: str = "rising") -> DesignArtifact:
+    """Detects rising, falling or both edges of an asynchronous-ish input."""
+    if kind == "rising":
+        detect_expr = "signal_q1 && !signal_q2"
+        description_text = "rising edges"
+    elif kind == "falling":
+        detect_expr = "!signal_q1 && signal_q2"
+        description_text = "falling edges"
+    else:
+        detect_expr = "signal_q1 ^ signal_q2"
+        description_text = "both edges"
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire signal_in,\n"
+        f"    output reg edge_pulse,\n"
+        f"    output reg [7:0] edge_count\n"
+        f");\n"
+        f"    reg signal_q1;\n"
+        f"    reg signal_q2;\n"
+        f"    wire edge_seen;\n"
+        f"    assign edge_seen = {detect_expr};\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) begin\n"
+        f"            signal_q1 <= 1'b0;\n"
+        f"            signal_q2 <= 1'b0;\n"
+        f"        end\n"
+        f"        else begin\n"
+        f"            signal_q1 <= signal_in;\n"
+        f"            signal_q2 <= signal_q1;\n"
+        f"        end\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) edge_pulse <= 1'b0;\n"
+        f"        else edge_pulse <= edge_seen;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) edge_count <= 8'd0;\n"
+        f"        else if (edge_seen) edge_count <= edge_count + 8'd1;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="edge_detector",
+        source=source,
+        description=f"an edge detector that reports {description_text} of signal_in",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("signal_in", "input", 1, "monitored input"),
+            PortSpec("edge_pulse", "output", 1, "registered one-cycle pulse per detected edge"),
+            PortSpec("edge_count", "output", 8, "number of detected edges since reset"),
+        ],
+        behaviour=[
+            "signal_in is sampled through a two-stage register chain (signal_q1, signal_q2).",
+            f"An edge is detected when the two stages differ in the pattern for {description_text}.",
+            "edge_pulse registers the detection and edge_count increments once per detected edge.",
+        ],
+        template_svas=[
+            "property p_pulse_follows_edge;\n"
+            "    @(posedge clk) disable iff (!rst_n) edge_seen |=> edge_pulse;\n"
+            "endproperty\n"
+            "a_pulse_follows_edge: assert property (p_pulse_follows_edge) "
+            "else $error(\"edge_pulse must follow a detected edge by one cycle\");"
+        ],
+        parameters={"kind": kind},
+    )
+
+
+def build_synchronizer(name: str, stages: int = 3) -> DesignArtifact:
+    """A multi-flop synchroniser with a stability counter."""
+    stage_decls = "".join(f"    reg sync_{i};\n" for i in range(stages))
+    first_stage = "    always @(posedge clk or negedge rst_n) begin\n" \
+                  "        if (!rst_n) sync_0 <= 1'b0;\n" \
+                  "        else sync_0 <= async_in;\n" \
+                  "    end\n"
+    other_stages = "".join(
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) sync_{i} <= 1'b0;\n"
+        f"        else sync_{i} <= sync_{i - 1};\n"
+        f"    end\n"
+        for i in range(1, stages)
+    )
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire async_in,\n"
+        f"    output wire sync_out,\n"
+        f"    output reg [7:0] stable_cycles\n"
+        f");\n"
+        f"{stage_decls}"
+        f"    assign sync_out = sync_{stages - 1};\n"
+        f"{first_stage}"
+        f"{other_stages}"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) stable_cycles <= 8'd0;\n"
+        f"        else if (sync_{stages - 1} == sync_{stages - 2}) stable_cycles <= stable_cycles + 8'd1;\n"
+        f"        else stable_cycles <= 8'd0;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="synchronizer",
+        source=source,
+        description=f"a {stages}-stage input synchroniser with a stability counter",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("async_in", "input", 1, "asynchronous input"),
+            PortSpec("sync_out", "output", 1, "synchronised output (last stage)"),
+            PortSpec("stable_cycles", "output", 8, "cycles the last two stages have agreed"),
+        ],
+        behaviour=[
+            f"async_in passes through {stages} flip-flop stages before reaching sync_out.",
+            "stable_cycles counts consecutive cycles in which the last two stages agree and "
+            "resets to zero whenever they differ.",
+            "Reset clears every stage and the counter.",
+        ],
+        template_svas=[
+            "property p_pipeline_order;\n"
+            f"    @(posedge clk) disable iff (!rst_n) 1'b1 |=> sync_{stages - 1} == $past(sync_{stages - 2});\n"
+            "endproperty\n"
+            "a_pipeline_order: assert property (p_pipeline_order) "
+            "else $error(\"the last stage must follow the previous stage by one cycle\");"
+        ],
+        parameters={"stages": stages},
+    )
+
+
+def build_pulse_stretcher(name: str, stretch: int = 4) -> DesignArtifact:
+    """Stretches a single-cycle pulse to a fixed number of cycles."""
+    width = max(1, stretch.bit_length())
+    source = (
+        f"module {name} (\n"
+        f"    input wire clk,\n"
+        f"    input wire rst_n,\n"
+        f"    input wire pulse_in,\n"
+        f"    output reg pulse_out,\n"
+        f"    output reg [{width - 1}:0] remaining\n"
+        f");\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) remaining <= {width}'d0;\n"
+        f"        else if (pulse_in) remaining <= {width}'d{stretch};\n"
+        f"        else if (remaining != {width}'d0) remaining <= remaining - {width}'d1;\n"
+        f"    end\n"
+        f"    always @(posedge clk or negedge rst_n) begin\n"
+        f"        if (!rst_n) pulse_out <= 1'b0;\n"
+        f"        else if (pulse_in) pulse_out <= 1'b1;\n"
+        f"        else if (remaining == {width}'d1) pulse_out <= 1'b0;\n"
+        f"        else if (remaining == {width}'d0) pulse_out <= 1'b0;\n"
+        f"    end\n"
+        f"endmodule\n"
+    )
+    return DesignArtifact(
+        name=name,
+        family="pulse_stretcher",
+        source=source,
+        description=f"a pulse stretcher that extends input pulses to {stretch} cycles",
+        ports=[
+            PortSpec("clk", "input", 1, "clock, rising edge active"),
+            PortSpec("rst_n", "input", 1, "asynchronous active-low reset"),
+            PortSpec("pulse_in", "input", 1, "single-cycle input pulse"),
+            PortSpec("pulse_out", "output", 1, f"output held high for {stretch} cycles per input pulse"),
+            PortSpec("remaining", "output", width, "cycles remaining on the current stretched pulse"),
+        ],
+        behaviour=[
+            f"A pulse on pulse_in loads the remaining counter with {stretch} and raises pulse_out.",
+            "The counter decrements every cycle while non-zero; pulse_out falls when it runs out.",
+            "A new input pulse during an active stretch restarts the counter.",
+        ],
+        template_svas=[
+            "property p_pulse_starts;\n"
+            "    @(posedge clk) disable iff (!rst_n) pulse_in |=> pulse_out;\n"
+            "endproperty\n"
+            "a_pulse_starts: assert property (p_pulse_starts) "
+            "else $error(\"pulse_out must rise the cycle after pulse_in\");"
+        ],
+        parameters={"stretch": stretch},
+    )
+
+
+FAMILIES: list[DesignFamily] = [
+    DesignFamily(
+        name="shift_register",
+        build=build_shift_register,
+        description="serial-in parallel-out shift registers",
+        parameter_grid=(
+            {"width": 8, "direction": "left"},
+            {"width": 8, "direction": "right"},
+            {"width": 4, "direction": "left"},
+            {"width": 16, "direction": "left"},
+        ),
+    ),
+    DesignFamily(
+        name="lfsr",
+        build=build_lfsr,
+        description="Fibonacci LFSRs",
+        parameter_grid=({"width": 8}, {"width": 5}, {"width": 12}),
+    ),
+    DesignFamily(
+        name="edge_detector",
+        build=build_edge_detector,
+        description="edge detectors",
+        parameter_grid=({"kind": "rising"}, {"kind": "falling"}, {"kind": "both"}),
+    ),
+    DesignFamily(
+        name="synchronizer",
+        build=build_synchronizer,
+        description="multi-stage synchronisers",
+        parameter_grid=({"stages": 2}, {"stages": 3}, {"stages": 4}),
+    ),
+    DesignFamily(
+        name="pulse_stretcher",
+        build=build_pulse_stretcher,
+        description="pulse stretchers",
+        parameter_grid=({"stretch": 3}, {"stretch": 4}, {"stretch": 6}),
+    ),
+]

@@ -1,0 +1,117 @@
+"""Stage 1: filtering, deduplication and syntax checking.
+
+Mirrors Section II Stage 1 of the paper:
+
+1. drop samples without ``module``/``endmodule``,
+2. drop samples with no functional logic (only declarations/initialisation),
+3. drop duplicated code,
+4. syntax-check everything with the compiler substitute; failing samples are
+   routed into the Verilog-PT pretraining dataset together with their spec
+   and an analysis of the compile failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.generator import Corpus, CorpusSample
+from repro.corpus.corruptor import CorruptedSample
+from repro.dataaug.datasets import VerilogPTEntry
+from repro.hdl.lint import compile_source
+from repro.hdl.source import normalize_line
+
+
+@dataclass
+class Stage1Result:
+    """Samples that survive to Stage 2, plus the Verilog-PT entries."""
+
+    compiled: list[CorpusSample] = field(default_factory=list)
+    verilog_pt: list[VerilogPTEntry] = field(default_factory=list)
+    filtered_out: int = 0
+    compile_failures: int = 0
+
+
+def has_module_envelope(source: str) -> bool:
+    """Filter criterion 1: the sample must contain ``module`` and ``endmodule``."""
+    return "module" in source and "endmodule" in source
+
+
+def has_functional_logic(source: str) -> bool:
+    """Filter criterion 2: the sample must contain behavioural logic, not just
+    declarations or initialisation."""
+    lowered = source.lower()
+    return ("always" in lowered) or ("assign" in lowered)
+
+
+def content_fingerprint(source: str) -> str:
+    """Normalised fingerprint used for duplicate elimination (criterion 3)."""
+    lines = [normalize_line(line) for line in source.split("\n")]
+    return "\n".join(line for line in lines if line)
+
+
+def analyse_compile_failure(render: str) -> str:
+    """Build the 'analysis' text for a Verilog-PT entry from compiler diagnostics."""
+    diagnostics = [line for line in render.splitlines() if "error" in line]
+    if not diagnostics:
+        return "the code failed to compile for an unspecified reason"
+    return "the compiler reported: " + "; ".join(diagnostics[:3])
+
+
+def run_stage1(corpus: Corpus) -> Stage1Result:
+    """Run Stage 1 over a generated corpus."""
+    result = Stage1Result()
+    seen: set[str] = set()
+
+    def consider(sample: CorpusSample, source: str, corruption: CorruptedSample | None) -> None:
+        if not has_module_envelope(source) or not has_functional_logic(source):
+            # Truncated/garbled samples can lose their envelope entirely; they
+            # still carry structural value, so keep them for pretraining when a
+            # ground-truth corruption explanation exists.
+            if corruption is not None:
+                result.verilog_pt.append(
+                    VerilogPTEntry(
+                        name=sample.name,
+                        source=source,
+                        spec=sample.spec,
+                        analysis=corruption.explanation,
+                        corruption_kind=corruption.corruption_kind,
+                    )
+                )
+                result.compile_failures += 1
+            else:
+                result.filtered_out += 1
+            return
+        fingerprint = content_fingerprint(source)
+        if fingerprint in seen:
+            result.filtered_out += 1
+            return
+        seen.add(fingerprint)
+        compile_result = compile_source(source)
+        if compile_result.ok:
+            if corruption is None:
+                result.compiled.append(sample)
+            else:
+                # A corruption that still compiles is not a useful PT entry.
+                result.filtered_out += 1
+            return
+        result.compile_failures += 1
+        analysis = (
+            corruption.explanation
+            if corruption is not None
+            else analyse_compile_failure(compile_result.render())
+        )
+        result.verilog_pt.append(
+            VerilogPTEntry(
+                name=sample.name,
+                source=source,
+                spec=sample.spec,
+                analysis=analysis,
+                corruption_kind=corruption.corruption_kind if corruption else "organic",
+            )
+        )
+
+    for sample in corpus.samples:
+        consider(sample, sample.source, corruption=None)
+    for sample, corrupted in corpus.corrupted:
+        consider(sample, corrupted.source, corruption=corrupted)
+    return result

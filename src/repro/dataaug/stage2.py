@@ -1,0 +1,242 @@
+"""Stage 2: key-component generation and validation.
+
+For every sample that survived Stage 1:
+
+1. candidate SVAs are collected from the design family's template assertions
+   and from the assertion miner (the reproduction of Claude-3.5's SVA
+   generation),
+2. the candidates are inserted into the golden source, compiled and checked
+   on a simulation trace; candidates that fail (or do not compile) are
+   discarded -- the first half of the paper's two-step validation,
+3. single-line bugs are injected with the mutation engine; mutants that do
+   not compile are discarded -- the second half of the validation,
+4. every surviving mutant is simulated against the validated SVAs.  Mutants
+   that trigger at least one assertion failure become SVA-Bug entries (with
+   the captured failure log); mutants that keep all assertions happy become
+   Verilog-Bug entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bugs.injector import BugInjector, InjectionConfig
+from repro.bugs.taxonomy import classify_direct
+from repro.corpus.generator import CorpusSample
+from repro.dataaug.datasets import SvaBugEntry, VerilogBugEntry
+from repro.hdl.elaborate import AssertionSpec, ElaboratedDesign
+from repro.hdl.lint import compile_source
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.stimulus import StimulusGenerator
+from repro.sva.checker import check_assertions
+from repro.sva.generator import MinedAssertion, insert_assertions, mine_assertions
+from repro.sva.logs import format_failure_log
+
+
+@dataclass
+class Stage2Config:
+    """Knobs for SVA validation and bug injection."""
+
+    seed: int = 11
+    random_cycles: int = 48
+    max_mined_assertions: int = 5
+    max_bugs_per_design: int = 6
+    injection: InjectionConfig = field(default_factory=InjectionConfig)
+
+
+@dataclass
+class Stage2Result:
+    """Validated entries plus per-stage counters."""
+
+    sva_bug: list[SvaBugEntry] = field(default_factory=list)
+    verilog_bug: list[VerilogBugEntry] = field(default_factory=list)
+    candidate_svas: int = 0
+    validated_svas: int = 0
+    injected_bugs: int = 0
+    rejected_not_compiling: int = 0
+    designs_without_valid_svas: int = 0
+
+
+def _template_assertion_blocks(sample: CorpusSample) -> list[MinedAssertion]:
+    """Wrap the template's hand-written SVA blocks in MinedAssertion records."""
+    blocks: list[MinedAssertion] = []
+    for index, block in enumerate(sample.artifact.template_svas):
+        lines = block.splitlines()
+        property_text = "\n".join(lines[:-1]) if len(lines) > 1 else block
+        assert_text = lines[-1] if len(lines) > 1 else ""
+        blocks.append(
+            MinedAssertion(
+                name=f"template_{index}",
+                property_text=property_text,
+                assert_text=assert_text,
+                description=f"template assertion {index} of family {sample.artifact.family}",
+                kind="template",
+            )
+        )
+    return blocks
+
+
+def _simulate(design: ElaboratedDesign, seed: int, cycles: int):
+    simulator = Simulator(design)
+    stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(random_cycles=cycles)
+    trace = simulator.run(stimulus.vectors)
+    return trace
+
+
+class Stage2Runner:
+    """Runs Stage 2 for a batch of compiled corpus samples."""
+
+    def __init__(self, config: Optional[Stage2Config] = None):
+        self._config = config or Stage2Config()
+        injection = self._config.injection
+        injection.max_bugs_per_design = self._config.max_bugs_per_design
+        self._injector = BugInjector(injection)
+
+    # ------------------------------------------------------------------ #
+    # SVA generation + validation
+    # ------------------------------------------------------------------ #
+
+    def validated_assertions(
+        self, sample: CorpusSample, result: Stage2Result
+    ) -> tuple[Optional[str], Optional[ElaboratedDesign]]:
+        """Insert candidate SVAs into the golden source and keep the valid ones.
+
+        Returns the augmented golden source (with only valid SVAs) and its
+        elaborated design, or ``(None, None)`` when nothing useful remains.
+        """
+        golden_compile = compile_source(sample.source)
+        if not golden_compile.ok or golden_compile.design is None:
+            return None, None
+        try:
+            golden_trace = _simulate(golden_compile.design, self._config.seed, self._config.random_cycles)
+        except SimulationError:
+            return None, None
+
+        candidates = _template_assertion_blocks(sample)
+        candidates.extend(
+            mine_assertions(
+                golden_compile.design,
+                golden_trace,
+                max_assertions=self._config.max_mined_assertions,
+            )
+        )
+        result.candidate_svas += len(candidates)
+        if not candidates:
+            result.designs_without_valid_svas += 1
+            return None, None
+
+        augmented = insert_assertions(sample.source, candidates)
+        augmented_compile = compile_source(augmented)
+        if not augmented_compile.ok or augmented_compile.design is None:
+            result.designs_without_valid_svas += 1
+            return None, None
+        try:
+            trace = _simulate(augmented_compile.design, self._config.seed + 1, self._config.random_cycles)
+        except SimulationError:
+            result.designs_without_valid_svas += 1
+            return None, None
+        report = check_assertions(augmented_compile.design, trace)
+        failing = set(report.failed_assertions)
+        if failing:
+            # Drop candidates whose assertion failed on the golden design and retry once.
+            valid = [c for c in candidates if _assertion_label(c) not in failing]
+            if not valid:
+                result.designs_without_valid_svas += 1
+                return None, None
+            augmented = insert_assertions(sample.source, valid)
+            augmented_compile = compile_source(augmented)
+            if not augmented_compile.ok or augmented_compile.design is None:
+                result.designs_without_valid_svas += 1
+                return None, None
+            result.validated_svas += len(valid)
+        else:
+            result.validated_svas += len(candidates)
+        return augmented, augmented_compile.design
+
+    # ------------------------------------------------------------------ #
+    # bug injection + validation
+    # ------------------------------------------------------------------ #
+
+    def process_sample(self, sample: CorpusSample, result: Stage2Result) -> None:
+        """Run the complete Stage 2 flow for one sample."""
+        augmented_golden, golden_design = self.validated_assertions(sample, result)
+        if augmented_golden is None or golden_design is None:
+            return
+        bugs = self._injector.inject(sample.name, augmented_golden, golden_design)
+        result.injected_bugs += len(bugs)
+        for index, bug in enumerate(bugs):
+            buggy_compile = compile_source(bug.buggy_source)
+            if not buggy_compile.ok or buggy_compile.design is None:
+                result.rejected_not_compiling += 1
+                continue
+            stimulus_seed = self._config.seed + 101 + index
+            try:
+                trace = _simulate(buggy_compile.design, stimulus_seed, self._config.random_cycles)
+            except SimulationError:
+                result.rejected_not_compiling += 1
+                continue
+            report = check_assertions(buggy_compile.design, trace)
+            if report.passed:
+                result.verilog_bug.append(
+                    VerilogBugEntry(
+                        name=f"{sample.name}_vb{index}",
+                        spec=sample.spec,
+                        buggy_source=bug.buggy_source,
+                        golden_line=bug.golden_line,
+                        buggy_line=bug.buggy_line,
+                        line_number=bug.line_number,
+                        edit_kind=bug.edit_kind,
+                        is_conditional=bug.is_conditional,
+                        description=bug.description,
+                    )
+                )
+                continue
+            failing_names = report.failed_assertions
+            bug.failing_assertions = failing_names
+            failing_specs = [
+                spec for spec in buggy_compile.design.assertions if spec.name in failing_names
+            ]
+            bug.is_direct = classify_direct(bug, failing_specs)
+            logs = format_failure_log(sample.name, report)
+            result.sva_bug.append(
+                SvaBugEntry(
+                    name=f"{sample.name}_sb{index}",
+                    design_name=sample.name,
+                    family=sample.artifact.family,
+                    origin="machine",
+                    spec=sample.spec,
+                    golden_source=augmented_golden,
+                    buggy_source=bug.buggy_source,
+                    logs=logs,
+                    failing_assertions=failing_names,
+                    line_number=bug.line_number,
+                    golden_line=bug.golden_line,
+                    buggy_line=bug.buggy_line,
+                    edit_kind=bug.edit_kind,
+                    is_conditional=bug.is_conditional,
+                    is_direct=bool(bug.is_direct),
+                    mutation_name=bug.mutation_name,
+                    description=bug.description,
+                    stimulus_seed=stimulus_seed,
+                    stimulus_cycles=self._config.random_cycles,
+                )
+            )
+
+    def run(self, samples: list[CorpusSample]) -> Stage2Result:
+        result = Stage2Result()
+        for sample in samples:
+            self.process_sample(sample, result)
+        return result
+
+
+def _assertion_label(candidate: MinedAssertion) -> str:
+    """The assertion label a candidate will have once inserted (``a_<property>``)."""
+    text = candidate.assert_text or candidate.property_text
+    label = text.split(":", 1)[0].strip()
+    return label
+
+
+def run_stage2(samples: list[CorpusSample], config: Optional[Stage2Config] = None) -> Stage2Result:
+    """Convenience wrapper running Stage 2 over a sample list."""
+    return Stage2Runner(config).run(samples)

@@ -1,0 +1,242 @@
+"""Semantic checking: the project's substitute for the Icarus Verilog compiler.
+
+:func:`compile_source` runs the full front end (lex, parse, elaborate) and a
+set of semantic lint checks, returning a :class:`CompileResult` with a pass /
+fail verdict plus diagnostics.  The data-augmentation pipeline (Stage 1 and
+Stage 2 of the paper) uses this exactly the way the paper uses ``iverilog``:
+to reject syntactically broken corpus entries and to discard injected bugs
+that merely break compilation instead of triggering an assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hdl import ast
+from repro.hdl.elaborate import ElaboratedDesign, elaborate
+from repro.hdl.errors import DiagnosticSink, Diagnostic, HdlError, Severity
+from repro.hdl.parser import parse_source
+
+#: System functions the simulator and checker understand.
+KNOWN_SYSTEM_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "$past",
+        "$rose",
+        "$fell",
+        "$stable",
+        "$changed",
+        "$onehot",
+        "$onehot0",
+        "$countones",
+        "$clog2",
+        "$signed",
+        "$unsigned",
+    }
+)
+
+#: System tasks allowed in procedural code (ignored by the simulator).
+KNOWN_SYSTEM_TASKS: frozenset[str] = frozenset(
+    {"$display", "$error", "$warning", "$info", "$fatal", "$finish", "$stop", "$monitor"}
+)
+
+
+@dataclass
+class CompileResult:
+    """Outcome of compiling one Verilog source text."""
+
+    ok: bool
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    unit: Optional[ast.SourceUnit] = None
+    design: Optional[ElaboratedDesign] = None
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def render(self) -> str:
+        """Render all diagnostics as a compiler log."""
+        status = "compilation successful" if self.ok else "compilation failed"
+        body = "\n".join(d.render() for d in self.diagnostics)
+        return f"{status}\n{body}" if body else status
+
+
+def compile_source(text: str, top: Optional[str] = None) -> CompileResult:
+    """Parse, elaborate and lint ``text``; never raises for bad input."""
+    sink = DiagnosticSink()
+    try:
+        unit = parse_source(text)
+    except HdlError as exc:
+        sink.diagnostics.append(exc.to_diagnostic())
+        return CompileResult(ok=False, diagnostics=sink.diagnostics)
+    try:
+        design = elaborate(unit, top=top)
+    except HdlError as exc:
+        sink.diagnostics.append(exc.to_diagnostic())
+        return CompileResult(ok=False, diagnostics=sink.diagnostics, unit=unit)
+    lint_design(design, sink)
+    ok = not sink.has_errors
+    return CompileResult(ok=ok, diagnostics=sink.diagnostics, unit=unit, design=design)
+
+
+def lint_design(design: ElaboratedDesign, sink: Optional[DiagnosticSink] = None) -> DiagnosticSink:
+    """Run semantic checks over an elaborated design, appending to ``sink``."""
+    sink = sink if sink is not None else DiagnosticSink()
+    _check_undeclared_uses(design, sink)
+    _check_input_drivers(design, sink)
+    _check_multiple_drivers(design, sink)
+    _check_undriven_signals(design, sink)
+    _check_system_functions(design, sink)
+    _check_assignment_styles(design, sink)
+    return sink
+
+
+# --------------------------------------------------------------------------- #
+# individual checks
+# --------------------------------------------------------------------------- #
+
+
+def _iter_all_expressions(design: ElaboratedDesign):
+    for assign in design.continuous_assigns:
+        yield assign.line, assign.target
+        yield assign.line, assign.value
+    for block in design.comb_blocks + design.seq_blocks:
+        for statement in block.body.walk():
+            if isinstance(statement, ast.Assign):
+                yield statement.line, statement.target
+                yield statement.line, statement.value
+            elif isinstance(statement, ast.If):
+                yield statement.line, statement.condition
+            elif isinstance(statement, ast.Case):
+                yield statement.line, statement.subject
+                for item in statement.items:
+                    for label in item.labels:
+                        yield statement.line, label
+    for assertion in design.assertions:
+        sequences = [assertion.body.consequent]
+        if assertion.body.antecedent is not None:
+            sequences.append(assertion.body.antecedent)
+        for sequence in sequences:
+            for element in sequence.elements:
+                yield assertion.line, element.expr
+        if assertion.disable_iff is not None:
+            yield assertion.line, assertion.disable_iff
+
+
+def _check_undeclared_uses(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
+    declared = set(design.signals) | set(design.parameters)
+    for line, expr in _iter_all_expressions(design):
+        for name in expr.identifiers():
+            if name not in declared:
+                sink.error(
+                    f"use of undeclared signal '{name}'",
+                    line=line,
+                    code="undeclared-signal",
+                )
+
+
+def _check_input_drivers(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
+    for assign in design.continuous_assigns:
+        for target in ast._target_names(assign.target):
+            signal = design.signals.get(target)
+            if signal is not None and signal.is_input:
+                sink.error(
+                    f"input port '{target}' cannot be driven inside the module",
+                    line=assign.line,
+                    code="input-driven",
+                )
+    for block in design.comb_blocks + design.seq_blocks:
+        for node in block.body.walk():
+            if isinstance(node, ast.Assign):
+                for target in ast._target_names(node.target):
+                    signal = design.signals.get(target)
+                    if signal is not None and signal.is_input:
+                        sink.error(
+                            f"input port '{target}' cannot be driven inside the module",
+                            line=node.line,
+                            code="input-driven",
+                        )
+
+
+def _check_multiple_drivers(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
+    continuous_targets: dict[str, int] = {}
+    for assign in design.continuous_assigns:
+        for target in ast._target_names(assign.target):
+            continuous_targets[target] = continuous_targets.get(target, 0) + 1
+    procedural_targets: set[str] = set()
+    for block in design.comb_blocks + design.seq_blocks:
+        procedural_targets.update(ast.assignment_targets(block.body))
+    for name, count in continuous_targets.items():
+        signal = design.signals.get(name)
+        if signal is None:
+            continue
+        if count > 1 and signal.width == 1:
+            sink.warning(
+                f"signal '{name}' has multiple continuous drivers",
+                code="multiple-drivers",
+            )
+        if name in procedural_targets:
+            sink.error(
+                f"signal '{name}' is driven both continuously and procedurally",
+                code="mixed-drivers",
+            )
+
+
+def _check_undriven_signals(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
+    driven: set[str] = set(design.driver_lines)
+    for signal in design.signals.values():
+        if signal.is_input:
+            continue
+        if signal.name not in driven:
+            read_somewhere = any(
+                signal.name in expr.identifiers() for _, expr in _iter_all_expressions(design)
+            )
+            severity = "undriven-used" if read_somewhere else "undriven-unused"
+            sink.warning(
+                f"signal '{signal.name}' is never assigned",
+                line=signal.line,
+                code=severity,
+            )
+
+
+def _check_system_functions(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
+    for line, expr in _iter_all_expressions(design):
+        for node in expr.walk():
+            if isinstance(node, ast.SystemCall) and node.name not in KNOWN_SYSTEM_FUNCTIONS:
+                sink.error(
+                    f"unsupported system function '{node.name}'",
+                    line=line,
+                    code="unknown-system-function",
+                )
+
+
+def _check_assignment_styles(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
+    for block in design.seq_blocks:
+        for node in block.body.walk():
+            if isinstance(node, ast.Assign) and node.blocking:
+                sink.warning(
+                    "blocking assignment inside clocked always block",
+                    line=node.line,
+                    code="blocking-in-seq",
+                )
+    for block in design.comb_blocks:
+        for node in block.body.walk():
+            if isinstance(node, ast.Assign) and not node.blocking:
+                sink.warning(
+                    "non-blocking assignment inside combinational always block",
+                    line=node.line,
+                    code="nonblocking-in-comb",
+                )
+
+
+def syntax_ok(text: str) -> bool:
+    """Fast check used by Stage 1 of the pipeline: does the source parse at all?"""
+    try:
+        parse_source(text)
+    except HdlError:
+        return False
+    return True

@@ -1,0 +1,91 @@
+"""Challenging-case mining for the preference-optimisation stage.
+
+Following Section III-C of the paper: the SFT model is evaluated on every
+sample of the SVA-Bug training set with n = 20 responses per question.
+Correctness is judged by comparing the suggested buggy line (and fix) with
+the golden answer.  Samples with at least one incorrect response are the
+*challenging cases*; each becomes a preference triple (question, correct
+answer, incorrect responses) for DPO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dataaug.datasets import SvaBugEntry
+from repro.hdl.source import lines_equivalent
+from repro.model.case import RepairCase
+from repro.model.response import RepairEngine, RepairResponse
+
+
+@dataclass
+class PreferenceTriple:
+    """(x, p, n[k]) of Section III-C: a question, its golden answer, and the
+    distinct incorrect responses the SFT model produced for it."""
+
+    case: RepairCase
+    positive_line_number: int
+    positive_fixed_line: str
+    negatives: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def negative_count(self) -> int:
+        return len(self.negatives)
+
+
+def response_is_correct(entry: SvaBugEntry, response: RepairResponse) -> bool:
+    """The paper's correctness check for challenging-case mining: the suggested
+    buggy line must match the golden answer (location and corrected code)."""
+    right_location = response.line_number == entry.line_number or lines_equivalent(
+        response.bug_line, entry.buggy_line
+    )
+    right_fix = lines_equivalent(response.fixed_line, entry.golden_line)
+    return right_location and right_fix
+
+
+def collect_challenging_cases(
+    engine: RepairEngine,
+    entries: Sequence[SvaBugEntry],
+    samples: int = 20,
+    temperature: float = 0.2,
+    seed: int = 31,
+) -> tuple[list[PreferenceTriple], dict[str, int]]:
+    """Sample the SFT model on the training questions and mine the failures.
+
+    Returns:
+        (triples, stats) where stats counts evaluated/challenging cases and
+        incorrect responses.
+    """
+    triples: list[PreferenceTriple] = []
+    stats = {"evaluated": 0, "challenging": 0, "incorrect_responses": 0}
+    for index, entry in enumerate(entries):
+        case = RepairCase.from_entry(entry)
+        if case.design is None:
+            continue
+        stats["evaluated"] += 1
+        responses = engine.propose(
+            case, samples=samples, temperature=temperature, seed=seed + index
+        )
+        negatives: list[tuple[int, str]] = []
+        seen: set[str] = set()
+        for response in responses:
+            if response_is_correct(entry, response):
+                continue
+            key = f"{response.line_number}::{' '.join(response.fixed_line.split())}"
+            if key in seen:
+                continue
+            seen.add(key)
+            negatives.append((response.line_number, response.fixed_line))
+        stats["incorrect_responses"] += len(negatives)
+        if negatives:
+            stats["challenging"] += 1
+            triples.append(
+                PreferenceTriple(
+                    case=case,
+                    positive_line_number=entry.line_number,
+                    positive_fixed_line=entry.golden_line,
+                    negatives=negatives,
+                )
+            )
+    return triples, stats

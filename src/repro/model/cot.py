@@ -1,0 +1,64 @@
+"""Inference-time chain-of-thought text for the model's responses.
+
+The paper's model returns, alongside the bug line and the fix, an explanation
+of its reasoning (the CoT of Fig. 2 - III).  The reproduction builds that text
+from the evidence the policy actually used: the failing assertions from the
+log, the cone-of-influence relationship between the suspected line and the
+asserted signals, and the chosen fix pattern.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.source import strip_comment
+from repro.model.case import RepairCase
+
+
+def build_explanation(
+    case: RepairCase,
+    line_number: int,
+    original_line: str,
+    fixed_line: str,
+    pattern: str = "",
+) -> str:
+    """Compose the step-by-step explanation for one proposed repair."""
+    failing = case.failure_log.failed_assertions
+    assertion_text = ", ".join(failing) if failing else "the reported assertion"
+    assigned = case.assigned_by_line.get(line_number, [])
+    assigned_text = ", ".join(assigned) if assigned else "the signals driven near this line"
+    relation = (
+        "drives a signal sampled directly by the failing assertion"
+        if set(assigned) & case.asserted_signals
+        else "lies in the cone of influence of the signals the assertion samples"
+        if set(assigned) & case.cone_signals
+        else "is the closest functional statement to the reported failure"
+    )
+    pattern_text = {
+        "cond_add_negation": "the condition's polarity is inverted relative to the specification",
+        "cond_drop_negation": "the condition's polarity is inverted relative to the specification",
+        "value_literal_change": "the constant does not match the value required by the specification",
+        "value_decimal_change": "the constant does not match the value required by the specification",
+        "value_width_change": "the literal width does not match the declared signal width",
+        "var_substitution": "the statement references the wrong signal",
+        "op_plus_to_minus": "the arithmetic operator does not implement the documented behaviour",
+        "op_minus_to_plus": "the arithmetic operator does not implement the documented behaviour",
+        "assign_drop_term": "the expression is missing a required term",
+        "keep_line": "on reflection the statement already matches the specification",
+    }.get(pattern, "the statement does not implement the behaviour the specification documents")
+    steps = [
+        f"Step 1: The log reports failing assertion(s): {assertion_text}.",
+        (
+            f"Step 2: Those assertions sample {', '.join(sorted(case.asserted_signals)) or 'design outputs'}; "
+            "their drivers were traced through the design's dependency graph."
+        ),
+        (
+            f"Step 3: Line {line_number} (`{strip_comment(original_line).strip()}`) assigns {assigned_text} and "
+            f"{relation}."
+        ),
+        f"Step 4: Comparing the line against the specification, {pattern_text}.",
+        (
+            "Step 5: Rewriting the line as "
+            f"`{strip_comment(fixed_line).strip()}` makes the implementation consistent with the "
+            "specification, so the failing assertion should now hold."
+        ),
+    ]
+    return "\n".join(steps)

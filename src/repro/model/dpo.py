@@ -1,0 +1,178 @@
+"""Direct Preference Optimisation on the repair policy.
+
+Implements the loss of Section III-C:
+
+    L_DPO = -E[ log sigma( beta * ( log pi_theta(p|x)/pi_ref(p|x)
+                                   - log pi_theta(n|x)/pi_ref(n|x) ) ) ]
+
+with the SFT policy frozen as the reference.  Because the policy's
+log-probabilities are differentiable in the weights (linear softmaxes), the
+gradient of each preference pair is
+
+    -sigma(-delta) * beta * ( d log pi_theta(p|x) - d log pi_theta(n|x) )
+
+and plain gradient descent on the pairs implements the update.  The scaling
+factor beta is 0.1 as in the paper, and the learning rate is much smaller
+than in SFT, mirroring the paper's 1e-4 (SFT) vs 1e-6 (DPO) ratio.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.challenging import PreferenceTriple
+from repro.model.policy import RepairPolicy
+
+
+@dataclass
+class DpoConfig:
+    """Hyper-parameters of the preference-optimisation stage."""
+
+    beta: float = 0.1
+    epochs: int = 6
+    learning_rate: float = 0.08
+    max_negatives_per_case: int = 6
+    seed: int = 41
+
+
+@dataclass
+class DpoReport:
+    """Training diagnostics."""
+
+    triples: int = 0
+    pairs: int = 0
+    pairs_skipped: int = 0
+    epoch_loss: list[float] = field(default_factory=list)
+    mean_margin_before: float = 0.0
+    mean_margin_after: float = 0.0
+
+
+class DpoTrainer:
+    """Optimises the policy weights against a frozen reference policy."""
+
+    def __init__(
+        self,
+        policy: RepairPolicy,
+        reference: RepairPolicy,
+        config: Optional[DpoConfig] = None,
+    ):
+        self._policy = policy
+        self._reference = reference
+        self._config = config or DpoConfig()
+        self._random = random.Random(self._config.seed)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
+    def train(self, triples: Sequence[PreferenceTriple]) -> DpoReport:
+        """Run DPO in place on the trainer's policy."""
+        report = DpoReport(triples=len(triples))
+        pairs = self._build_pairs(triples, report)
+        if not pairs:
+            return report
+        report.mean_margin_before = self._mean_margin(pairs)
+
+        learning_rate = self._config.learning_rate
+        for _ in range(self._config.epochs):
+            self._random.shuffle(pairs)
+            epoch_loss = 0.0
+            for pair in pairs:
+                epoch_loss += self._update_pair(pair, learning_rate)
+            report.epoch_loss.append(epoch_loss / len(pairs))
+            learning_rate *= 0.9
+
+        report.mean_margin_after = self._mean_margin(pairs)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _build_pairs(
+        self, triples: Sequence[PreferenceTriple], report: DpoReport
+    ) -> list[dict]:
+        pairs: list[dict] = []
+        for triple in triples:
+            negatives = triple.negatives[: self._config.max_negatives_per_case]
+            for negative_line, negative_fix in negatives:
+                pair = {
+                    "case": triple.case,
+                    "positive": (triple.positive_line_number, triple.positive_fixed_line),
+                    "negative": (negative_line, negative_fix),
+                }
+                if self._representable(pair):
+                    pairs.append(pair)
+                    report.pairs += 1
+                else:
+                    report.pairs_skipped += 1
+        return pairs
+
+    def _representable(self, pair: dict) -> bool:
+        case = pair["case"]
+        for line_number, fixed_line in (pair["positive"], pair["negative"]):
+            if self._policy.log_probability(case, line_number, fixed_line) is None:
+                return False
+            if self._reference.log_probability(case, line_number, fixed_line) is None:
+                return False
+        return True
+
+    def _delta(self, pair: dict) -> float:
+        case = pair["case"]
+        positive_line, positive_fix = pair["positive"]
+        negative_line, negative_fix = pair["negative"]
+        log_p_theta = self._policy.log_probability(case, positive_line, positive_fix)
+        log_n_theta = self._policy.log_probability(case, negative_line, negative_fix)
+        log_p_ref = self._reference.log_probability(case, positive_line, positive_fix)
+        log_n_ref = self._reference.log_probability(case, negative_line, negative_fix)
+        return self._config.beta * (
+            (log_p_theta - log_p_ref) - (log_n_theta - log_n_ref)
+        )
+
+    def _update_pair(self, pair: dict, learning_rate: float) -> float:
+        """One gradient step on one preference pair; returns its loss."""
+        case = pair["case"]
+        positive_line, positive_fix = pair["positive"]
+        negative_line, negative_fix = pair["negative"]
+        delta = self._delta(pair)
+        loss = -math.log(_sigmoid(delta))
+        coefficient = _sigmoid(-delta) * self._config.beta  # d(-log sigma)/d(delta) * -1
+
+        positive_gradient = self._policy.log_probability_gradient(
+            case, positive_line, positive_fix
+        )
+        negative_gradient = self._policy.log_probability_gradient(
+            case, negative_line, negative_fix
+        )
+        if positive_gradient is None or negative_gradient is None:
+            return loss
+        weights = self._policy.weights
+        for block, attribute in (
+            ("localisation", "localisation"),
+            ("fix_features", "fix_features"),
+            ("fix_patterns", "fix_patterns"),
+        ):
+            update = coefficient * (positive_gradient[block] - negative_gradient[block])
+            setattr(
+                weights,
+                attribute,
+                getattr(weights, attribute) + learning_rate * update,
+            )
+        return loss
+
+    def _mean_margin(self, pairs: list[dict]) -> float:
+        if not pairs:
+            return 0.0
+        return float(np.mean([self._delta(pair) for pair in pairs]))
+
+
+def _sigmoid(value: float) -> float:
+    if value >= 0:
+        return 1.0 / (1.0 + math.exp(-value))
+    exponential = math.exp(value)
+    return exponential / (1.0 + exponential)

@@ -1,0 +1,219 @@
+"""Supervised fine-tuning of the repair policy.
+
+SFT fits the policy weights by maximising the log-likelihood of the golden
+answers (the buggy line and its corrected code) over the SVA-Bug dataset,
+with the Verilog-Bug dataset as an auxiliary task -- the same data recipe as
+the paper's SFT stage.  Because the policy is a pair of linear softmaxes, the
+maximum-likelihood gradient has the standard "observed features minus
+expected features" form and plain SGD converges quickly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dataaug.datasets import SvaBugEntry, VerilogBugEntry
+from repro.model.case import RepairCase
+from repro.model.fixes import find_matching_candidate
+from repro.model.policy import RepairPolicy
+
+
+@dataclass
+class SftConfig:
+    """Hyper-parameters of the SFT stage."""
+
+    epochs: int = 12
+    learning_rate: float = 0.6
+    learning_rate_decay: float = 0.85
+    l2: float = 1e-3
+    auxiliary_weight: float = 0.3  # weight of Verilog-Bug (no-assertion) cases
+    seed: int = 23
+
+
+@dataclass
+class SftReport:
+    """Training diagnostics returned by the trainer."""
+
+    cases_used: int = 0
+    cases_skipped: int = 0
+    fix_targets_found: int = 0
+    epoch_log_likelihood: list[float] = field(default_factory=list)
+    final_localisation_accuracy: float = 0.0
+    final_fix_accuracy: float = 0.0
+
+
+def _case_from_verilog_bug(entry: VerilogBugEntry) -> RepairCase:
+    return RepairCase(
+        name=entry.name,
+        spec=entry.spec,
+        buggy_source=entry.buggy_source,
+        logs="",
+        origin="machine",
+        design_name=entry.name,
+        golden_line=entry.golden_line,
+        golden_line_number=entry.line_number,
+    )
+
+
+@dataclass
+class _TrainingExample:
+    case: RepairCase
+    line_number: int
+    golden_line: str
+    weight: float
+
+
+class SftTrainer:
+    """Fits the policy on the question/answer pairs of the augmented datasets."""
+
+    def __init__(self, policy: RepairPolicy, config: Optional[SftConfig] = None):
+        self._policy = policy
+        self._config = config or SftConfig()
+        self._random = random.Random(self._config.seed)
+
+    # ------------------------------------------------------------------ #
+    # dataset preparation
+    # ------------------------------------------------------------------ #
+
+    def _prepare(
+        self,
+        sva_entries: Sequence[SvaBugEntry],
+        verilog_bug_entries: Sequence[VerilogBugEntry],
+        report: SftReport,
+    ) -> list[_TrainingExample]:
+        examples: list[_TrainingExample] = []
+        for entry in sva_entries:
+            case = RepairCase.from_entry(entry)
+            if case.design is None or entry.line_number not in case.candidate_lines():
+                report.cases_skipped += 1
+                continue
+            examples.append(
+                _TrainingExample(
+                    case=case,
+                    line_number=entry.line_number,
+                    golden_line=entry.golden_line,
+                    weight=1.0,
+                )
+            )
+        for entry in verilog_bug_entries:
+            case = _case_from_verilog_bug(entry)
+            if case.design is None or entry.line_number not in case.candidate_lines():
+                report.cases_skipped += 1
+                continue
+            examples.append(
+                _TrainingExample(
+                    case=case,
+                    line_number=entry.line_number,
+                    golden_line=entry.golden_line,
+                    weight=self._config.auxiliary_weight,
+                )
+            )
+        report.cases_used = len(examples)
+        return examples
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
+    def train(
+        self,
+        sva_entries: Sequence[SvaBugEntry],
+        verilog_bug_entries: Sequence[VerilogBugEntry] = (),
+    ) -> SftReport:
+        """Run SFT in place on the trainer's policy."""
+        report = SftReport()
+        examples = self._prepare(sva_entries, verilog_bug_entries, report)
+        if not examples:
+            return report
+
+        weights = self._policy.weights
+        learning_rate = self._config.learning_rate
+        for _ in range(self._config.epochs):
+            self._random.shuffle(examples)
+            epoch_log_likelihood = 0.0
+            for example in examples:
+                epoch_log_likelihood += self._update_example(example, learning_rate)
+            report.epoch_log_likelihood.append(epoch_log_likelihood / len(examples))
+            learning_rate *= self._config.learning_rate_decay
+            # L2 shrinkage once per epoch keeps the weights bounded.
+            weights.localisation *= 1.0 - self._config.l2
+            weights.fix_features *= 1.0 - self._config.l2
+            weights.fix_patterns *= 1.0 - self._config.l2
+
+        accuracy_loc, accuracy_fix = self._evaluate(examples)
+        report.final_localisation_accuracy = accuracy_loc
+        report.final_fix_accuracy = accuracy_fix
+        report.fix_targets_found = sum(
+            1 for example in examples if self._fix_target_index(example) is not None
+        )
+        return report
+
+    def _update_example(self, example: _TrainingExample, learning_rate: float) -> float:
+        """One SGD step on one (question, answer) pair; returns its log-likelihood."""
+        policy = self._policy
+        weights = policy.weights
+        case = example.case
+
+        analysis = policy.analyse(case)
+        line_numbers, line_probabilities = policy.line_distribution(case, temperature=1.0)
+        line_index = line_numbers.index(example.line_number)
+        observed = analysis.line_features[line_index]
+        expected = line_probabilities @ analysis.line_features
+        weights.localisation += learning_rate * example.weight * (observed - expected)
+        log_likelihood = float(np.log(max(line_probabilities[line_index], 1e-12)))
+
+        fix_index = self._fix_target_index(example)
+        if fix_index is not None:
+            candidates, fix_features, patterns = policy.fix_options(case, example.line_number)
+            _, fix_probabilities = policy.fix_distribution(case, example.line_number, temperature=1.0)
+            observed_fix = fix_features[fix_index]
+            expected_fix = fix_probabilities @ fix_features
+            weights.fix_features += learning_rate * example.weight * (observed_fix - expected_fix)
+            pattern_update = np.zeros_like(weights.fix_patterns)
+            pattern_update[patterns[fix_index]] += 1.0
+            for index, probability in enumerate(fix_probabilities):
+                pattern_update[patterns[index]] -= probability
+            weights.fix_patterns += learning_rate * example.weight * pattern_update
+            log_likelihood += float(np.log(max(fix_probabilities[fix_index], 1e-12)))
+        return log_likelihood
+
+    def _fix_target_index(self, example: _TrainingExample) -> Optional[int]:
+        candidates, _, _ = self._policy.fix_options(example.case, example.line_number)
+        match = find_matching_candidate(candidates, example.golden_line)
+        if match is None:
+            return None
+        return candidates.index(match)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(self, examples: list[_TrainingExample]) -> tuple[float, float]:
+        """Greedy localisation / fix accuracy on the training examples."""
+        policy = self._policy
+        correct_lines = 0
+        correct_fixes = 0
+        fix_total = 0
+        for example in examples:
+            line_numbers, probabilities = policy.line_distribution(example.case, temperature=1.0)
+            if not line_numbers:
+                continue
+            best_line = line_numbers[int(np.argmax(probabilities))]
+            if best_line == example.line_number:
+                correct_lines += 1
+            fix_index = self._fix_target_index(example)
+            if fix_index is None:
+                continue
+            fix_total += 1
+            candidates, fix_probabilities = policy.fix_distribution(
+                example.case, example.line_number, temperature=1.0
+            )
+            if int(np.argmax(fix_probabilities)) == fix_index:
+                correct_fixes += 1
+        localisation_accuracy = correct_lines / len(examples) if examples else 0.0
+        fix_accuracy = correct_fixes / fix_total if fix_total else 0.0
+        return localisation_accuracy, fix_accuracy

@@ -1,0 +1,85 @@
+"""A Verilog-aware tokenizer for the language-model components.
+
+The pretraining stage treats every Verilog-PT entry as a token sequence; this
+tokenizer produces those sequences.  It splits source text (and the natural
+language around it) into identifiers, numbers, operators and punctuation,
+normalising numeric literals so the n-gram model generalises across constant
+values.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+_TOKEN_PATTERN = re.compile(
+    r"\d+'[bdhoBDHO][0-9a-fA-F_xXzZ?]+"  # based literals
+    r"|[A-Za-z_][A-Za-z0-9_$]*"  # identifiers and keywords
+    r"|\d+"  # plain numbers
+    r"|\|->|\|=>|<=|>=|==|!=|&&|\|\||<<|>>|##"  # multi-char operators
+    r"|[-+*/%&|^~!<>=?:;,.(){}\[\]@#'\"$]"  # single characters
+)
+
+#: token emitted in place of any numeric literal (improves n-gram generalisation).
+NUMBER_TOKEN = "<num>"
+
+#: tokens bounding a line when scoring lines individually.
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+UNKNOWN_TOKEN = "<unk>"
+
+
+def tokenize_text(text: str, normalise_numbers: bool = True) -> list[str]:
+    """Tokenize Verilog (or mixed Verilog/English) text."""
+    tokens: list[str] = []
+    for match in _TOKEN_PATTERN.finditer(text):
+        token = match.group(0)
+        if normalise_numbers and (token[0].isdigit()):
+            tokens.append(NUMBER_TOKEN)
+        else:
+            tokens.append(token)
+    return tokens
+
+
+def tokenize_line(line: str, normalise_numbers: bool = True) -> list[str]:
+    """Tokenize one source line, wrapped in sentence boundary markers."""
+    return [BOS_TOKEN, *tokenize_text(line, normalise_numbers), EOS_TOKEN]
+
+
+@dataclass
+class Vocabulary:
+    """Token vocabulary with frequency counts."""
+
+    counts: Counter = field(default_factory=Counter)
+    min_count: int = 1
+
+    def add_text(self, text: str) -> None:
+        self.counts.update(tokenize_text(text))
+
+    def add_tokens(self, tokens: list[str]) -> None:
+        self.counts.update(tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens())
+
+    def __contains__(self, token: str) -> bool:
+        return self.counts.get(token, 0) >= self.min_count
+
+    def tokens(self) -> list[str]:
+        return [token for token, count in self.counts.items() if count >= self.min_count]
+
+    def map_token(self, token: str) -> str:
+        """Map out-of-vocabulary tokens to ``<unk>``."""
+        return token if token in self else UNKNOWN_TOKEN
+
+    def coverage(self, text: str) -> float:
+        """Fraction of tokens of ``text`` that are in vocabulary."""
+        tokens = tokenize_text(text)
+        if not tokens:
+            return 1.0
+        known = sum(1 for t in tokens if t in self)
+        return known / len(tokens)
+
+    def most_common(self, limit: int = 20) -> list[tuple[str, int]]:
+        return self.counts.most_common(limit)

@@ -1,0 +1,32 @@
+"""Cycle-accurate RTL simulation substrate.
+
+The simulator executes elaborated designs (:class:`repro.hdl.ElaboratedDesign`)
+cycle by cycle with 4-state values, records sampled traces for the SVA checker,
+and provides stimulus generation (reset protocol, random and directed vectors).
+Together with :mod:`repro.sva` it plays the role of the simulation half of the
+paper's EDA-tool validation loop.
+"""
+
+from repro.sim.values import LogicValue, X, ZERO, ONE
+from repro.sim.evaluator import Evaluator, EvalError
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.stimulus import Stimulus, StimulusGenerator, reset_sequence
+from repro.sim.trace import Trace, TraceSample
+from repro.sim.vcd import write_vcd
+
+__all__ = [
+    "LogicValue",
+    "X",
+    "ZERO",
+    "ONE",
+    "Evaluator",
+    "EvalError",
+    "Simulator",
+    "SimulationError",
+    "Stimulus",
+    "StimulusGenerator",
+    "reset_sequence",
+    "Trace",
+    "TraceSample",
+    "write_vcd",
+]

@@ -1,0 +1,102 @@
+"""Simulation traces: sampled signal values per clock cycle.
+
+A :class:`Trace` stores, for every simulated cycle, the values of every
+signal sampled in the *preponed region* (just before the active clock edge).
+This is exactly the sampling semantics concurrent SVAs use, so the assertion
+checker in :mod:`repro.sva` consumes these traces directly.  A second,
+post-edge snapshot is kept for waveform dumping and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.sim.values import LogicValue
+
+
+@dataclass
+class TraceSample:
+    """Signal values for one clock cycle."""
+
+    cycle: int
+    pre_edge: dict[str, LogicValue]
+    post_edge: dict[str, LogicValue]
+
+    def sampled(self, name: str) -> LogicValue:
+        """The preponed (SVA-visible) value of ``name`` at this cycle."""
+        try:
+            return self.pre_edge[name]
+        except KeyError as exc:
+            raise KeyError(f"signal '{name}' not in trace sample") from exc
+
+    def settled(self, name: str) -> LogicValue:
+        """The post-edge (waveform-visible) value of ``name`` at this cycle."""
+        try:
+            return self.post_edge[name]
+        except KeyError as exc:
+            raise KeyError(f"signal '{name}' not in trace sample") from exc
+
+
+@dataclass
+class Trace:
+    """A sequence of per-cycle samples for one simulation run."""
+
+    signals: list[str] = field(default_factory=list)
+    samples: list[TraceSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[TraceSample]:
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> TraceSample:
+        return self.samples[index]
+
+    def append(self, sample: TraceSample) -> None:
+        self.samples.append(sample)
+
+    def sampled_values(self, name: str) -> list[LogicValue]:
+        """All preponed values of one signal across the run."""
+        return [sample.sampled(name) for sample in self.samples]
+
+    def sampled_ints(self, name: str) -> list[Optional[int]]:
+        """All preponed values as ints (``None`` where the value has x bits)."""
+        values = []
+        for sample in self.samples:
+            value = sample.sampled(name)
+            values.append(None if value.has_unknown else value.to_int())
+        return values
+
+    def value_at(self, name: str, cycle: int) -> LogicValue:
+        """Preponed value of ``name`` at ``cycle`` (0-based)."""
+        return self.samples[cycle].sampled(name)
+
+    def last(self) -> TraceSample:
+        if not self.samples:
+            raise IndexError("trace is empty")
+        return self.samples[-1]
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "Trace":
+        """Return a sub-trace covering ``samples[start:stop]`` (cycles renumbered)."""
+        selected = self.samples[start:stop]
+        renumbered = [
+            TraceSample(cycle=i, pre_edge=s.pre_edge, post_edge=s.post_edge)
+            for i, s in enumerate(selected)
+        ]
+        return Trace(signals=list(self.signals), samples=renumbered)
+
+    def render(self, names: Optional[list[str]] = None, max_cycles: int = 32) -> str:
+        """Render a compact text waveform table (one row per signal)."""
+        names = names or self.signals
+        cycles = min(len(self.samples), max_cycles)
+        header = "cycle     " + " ".join(f"{i:>4d}" for i in range(cycles))
+        rows = [header]
+        for name in names:
+            cells = []
+            for i in range(cycles):
+                value = self.samples[i].sampled(name)
+                cells.append("   x" if value.has_unknown else f"{value.to_int():>4d}")
+            rows.append(f"{name:<10.10s}" + " ".join(cells))
+        return "\n".join(rows)

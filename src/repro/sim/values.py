@@ -1,0 +1,176 @@
+"""4-state logic values for RTL simulation.
+
+A :class:`LogicValue` is a fixed-width bit vector in which every bit is either
+a known 0/1 or unknown (``x``).  High-impedance ``z`` is folded into ``x``:
+for the designs in this project the distinction never matters, and collapsing
+the two keeps the arithmetic simple and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogicValue:
+    """An immutable fixed-width 4-state (collapsed to 3-state) vector.
+
+    Attributes:
+        value: the known bits (bits under ``xmask`` are meaningless and kept 0).
+        xmask: bitmask of unknown bit positions.
+        width: width in bits (>= 1).
+    """
+
+    value: int
+    xmask: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        mask = (1 << self.width) - 1
+        object.__setattr__(self, "value", self.value & mask & ~self.xmask)
+        object.__setattr__(self, "xmask", self.xmask & mask)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_int(cls, value: int, width: int = 32) -> "LogicValue":
+        """Build a fully known value from a Python integer (two's-complement wrap)."""
+        mask = (1 << width) - 1
+        return cls(value=value & mask, xmask=0, width=width)
+
+    @classmethod
+    def unknown(cls, width: int = 1) -> "LogicValue":
+        """Build an all-``x`` value."""
+        mask = (1 << width) - 1
+        return cls(value=0, xmask=mask, width=width)
+
+    # ------------------------------------------------------------------ #
+    # predicates and conversions
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def is_fully_known(self) -> bool:
+        return self.xmask == 0
+
+    @property
+    def has_unknown(self) -> bool:
+        return self.xmask != 0
+
+    def to_int(self) -> int:
+        """The known value; unknown bits read as 0."""
+        return self.value
+
+    def to_signed(self) -> int:
+        """Interpret the known bits as a two's-complement signed integer."""
+        if self.value & (1 << (self.width - 1)):
+            return self.value - (1 << self.width)
+        return self.value
+
+    def is_true(self) -> bool:
+        """Verilog truthiness: any known 1 bit makes the value true."""
+        return self.value != 0
+
+    def is_false(self) -> bool:
+        """True when the value is known to be all zeros."""
+        return self.value == 0 and self.xmask == 0
+
+    def truth(self) -> "LogicValue":
+        """Reduce to a 1-bit truth value (x if the truth cannot be decided)."""
+        if self.value != 0:
+            return ONE
+        if self.xmask != 0:
+            return LogicValue.unknown(1)
+        return ZERO
+
+    def resized(self, width: int) -> "LogicValue":
+        """Zero-extend or truncate to ``width`` bits (x bits preserved where kept)."""
+        return LogicValue(value=self.value, xmask=self.xmask, width=width)
+
+    def bit(self, index: int) -> "LogicValue":
+        """Extract a single bit as a 1-bit value; out-of-range reads return x."""
+        if index < 0 or index >= self.width:
+            return LogicValue.unknown(1)
+        return LogicValue(
+            value=(self.value >> index) & 1, xmask=(self.xmask >> index) & 1, width=1
+        )
+
+    def slice(self, msb: int, lsb: int) -> "LogicValue":
+        """Extract bits ``[msb:lsb]``; out-of-range bits read as x."""
+        if msb < lsb:
+            raise ValueError(f"invalid slice [{msb}:{lsb}]")
+        width = msb - lsb + 1
+        if lsb >= self.width:
+            return LogicValue.unknown(width)
+        value = self.value >> lsb
+        xmask = self.xmask >> lsb
+        if msb >= self.width:
+            # Bits beyond the declared width are unknown.
+            extra = msb - self.width + 1
+            xmask |= ((1 << extra) - 1) << (self.width - lsb)
+        return LogicValue(value=value, xmask=xmask, width=width)
+
+    def __str__(self) -> str:
+        if self.is_fully_known:
+            return f"{self.width}'d{self.value}"
+        bits = []
+        for index in reversed(range(self.width)):
+            if (self.xmask >> index) & 1:
+                bits.append("x")
+            else:
+                bits.append(str((self.value >> index) & 1))
+        return f"{self.width}'b{''.join(bits)}"
+
+    def __int__(self) -> int:
+        return self.to_int()
+
+    def equals(self, other: "LogicValue") -> bool:
+        """Exact 4-state equality (used by tests): same width, bits and x positions."""
+        return (
+            self.width == other.width
+            and self.value == other.value
+            and self.xmask == other.xmask
+        )
+
+
+#: Convenience constants.
+ZERO = LogicValue(value=0, xmask=0, width=1)
+ONE = LogicValue(value=1, xmask=0, width=1)
+X = LogicValue(value=0, xmask=1, width=1)
+
+
+def concat(values: list[LogicValue]) -> LogicValue:
+    """Concatenate values MSB-first (Verilog ``{a, b, c}`` ordering)."""
+    total_width = sum(v.width for v in values)
+    result_value = 0
+    result_xmask = 0
+    for item in values:
+        result_value = (result_value << item.width) | item.value
+        result_xmask = (result_xmask << item.width) | item.xmask
+    return LogicValue(value=result_value, xmask=result_xmask, width=max(total_width, 1))
+
+
+def replicate(count: int, value: LogicValue) -> LogicValue:
+    """Replicate ``value`` ``count`` times (Verilog ``{count{value}}``)."""
+    if count < 1:
+        raise ValueError("replication count must be >= 1")
+    return concat([value] * count)
+
+
+def merge_bits(original: LogicValue, update: LogicValue, msb: int, lsb: int) -> LogicValue:
+    """Write ``update`` into bit positions ``[msb:lsb]`` of ``original``."""
+    if msb < lsb:
+        raise ValueError(f"invalid write slice [{msb}:{lsb}]")
+    slice_width = msb - lsb + 1
+    slice_mask = ((1 << slice_width) - 1) << lsb
+    resized = update.resized(slice_width)
+    new_value = (original.value & ~slice_mask) | ((resized.value << lsb) & slice_mask)
+    new_xmask = (original.xmask & ~slice_mask) | ((resized.xmask << lsb) & slice_mask)
+    return LogicValue(value=new_value, xmask=new_xmask, width=original.width)
