@@ -1,0 +1,185 @@
+"""Simulation benchmark harness.
+
+Measures, for one representative design per template family:
+
+* interpreter backend throughput (cycles/second),
+* compiled backend throughput (cycles/second),
+* the resulting speedup,
+
+plus the wall time of the small data-augmentation pipeline configuration,
+and writes everything to ``BENCH_sim.json`` so successive PRs can track the
+performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py [--cycles N] [--output PATH]
+
+Schema of the output (``bench_sim/v1``)::
+
+    {
+      "schema": "bench_sim/v1",
+      "cycles_per_family": <int>,            # stimulus length per microbench
+      "timing_repeats": <int>,               # best-of-N wall-clock policy
+      "microbenchmarks": {
+        "<family>": {
+          "signals": <int>,                  # design size indicator
+          "cycles": <int>,
+          "interp_cps": <float>,             # interpreter cycles/second
+          "compiled_cps": <float>,           # compiled backend cycles/second
+          "compiled_cps_materialized": <float>,  # incl. full trace materialisation
+          "compile_ms": <float>,             # one-off lowering cost
+          "speedup": <float>,                # compiled_cps / interp_cps (sim only)
+          "speedup_materialized": <float>    # like-for-like: trace fully read back
+        }, ...
+      },
+      "geomean_speedup": <float>,
+      "min_speedup": <float>,
+      "pipeline": {
+        "config": "small",
+        "wall_time_s": <float>,
+        "sva_bug_entries": <int>,
+        "verilog_bug_entries": <int>
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.corpus.templates import all_families  # noqa: E402
+from repro.dataaug.pipeline import DataAugmentationPipeline, PipelineConfig  # noqa: E402
+from repro.hdl.lint import compile_source  # noqa: E402
+from repro.sim.compile import CompiledSimulator, compile_design  # noqa: E402
+from repro.sim.engine import InterpSimulator  # noqa: E402
+from repro.sim.stimulus import StimulusGenerator  # noqa: E402
+
+
+def _best_of(repeat: int, run) -> float:
+    """Smallest wall time of ``repeat`` runs (robust against scheduler noise)."""
+    return min(_timed(run) for _ in range(repeat))
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def bench_family(family, cycles: int, repeat: int) -> dict:
+    artifact = family.build(f"bench_{family.name}", **family.parameter_grid[0])
+    result = compile_source(artifact.source)
+    if not result.ok or result.design is None:
+        raise RuntimeError(f"benchmark design for {family.name} does not compile")
+    design = result.design
+    vectors = StimulusGenerator(design, seed=1).random_stimulus(cycles=cycles).vectors
+
+    interp_s = _best_of(repeat, lambda: InterpSimulator(design).run(vectors))
+
+    start = time.perf_counter()
+    compiled = compile_design(design)
+    compile_ms = (time.perf_counter() - start) * 1e3
+
+    compiled_s = _best_of(
+        repeat, lambda: CompiledSimulator(design, compiled=compiled).run(vectors)
+    )
+    # Like-for-like with the interpreter (whose trace is always dict-backed):
+    # include materialising every DiffTrace sample, the cost a consumer that
+    # reads the whole trace (e.g. the assertion checker) would pay.
+    compiled_mat_s = _best_of(
+        repeat,
+        lambda: CompiledSimulator(design, compiled=compiled).run(vectors).materialized(),
+    )
+
+    return {
+        "signals": len(design.signals),
+        "cycles": len(vectors),
+        "interp_cps": round(len(vectors) / interp_s, 1),
+        "compiled_cps": round(len(vectors) / compiled_s, 1),
+        "compiled_cps_materialized": round(len(vectors) / compiled_mat_s, 1),
+        "compile_ms": round(compile_ms, 3),
+        "speedup": round(interp_s / compiled_s, 2),
+        "speedup_materialized": round(interp_s / compiled_mat_s, 2),
+    }
+
+
+def bench_pipeline() -> dict:
+    start = time.perf_counter()
+    datasets = DataAugmentationPipeline(PipelineConfig.small()).run()
+    wall = time.perf_counter() - start
+    return {
+        "config": "small",
+        "wall_time_s": round(wall, 3),
+        "sva_bug_entries": datasets.statistics.sva_bug_entries,
+        "verilog_bug_entries": datasets.statistics.verilog_bug_entries,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=2000, help="stimulus cycles per family")
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing repeats")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if any family's simulation speedup falls below this",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sim.json",
+    )
+    args = parser.parse_args()
+
+    micro: dict[str, dict] = {}
+    for family in all_families():
+        micro[family.name] = bench_family(family, args.cycles, args.repeat)
+        entry = micro[family.name]
+        print(
+            f"{family.name:<26} interp {entry['interp_cps']:>9.0f} c/s   "
+            f"compiled {entry['compiled_cps']:>9.0f} c/s   {entry['speedup']:>5.1f}x"
+        )
+
+    speedups = [entry["speedup"] for entry in micro.values()]
+    mat_speedups = [entry["speedup_materialized"] for entry in micro.values()]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    geomean_mat = math.exp(sum(math.log(s) for s in mat_speedups) / len(mat_speedups))
+    report = {
+        "schema": "bench_sim/v1",
+        "cycles_per_family": args.cycles,
+        "timing_repeats": args.repeat,
+        "microbenchmarks": micro,
+        "geomean_speedup": round(geomean, 2),
+        "min_speedup": round(min(speedups), 2),
+        "geomean_speedup_materialized": round(geomean_mat, 2),
+        "min_speedup_materialized": round(min(mat_speedups), 2),
+        "pipeline": bench_pipeline(),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\ngeomean speedup {report['geomean_speedup']}x (min {report['min_speedup']}x); "
+        f"with trace materialisation {report['geomean_speedup_materialized']}x "
+        f"(min {report['min_speedup_materialized']}x); "
+        f"pipeline(small) {report['pipeline']['wall_time_s']}s"
+    )
+    print(f"wrote {args.output}")
+    if args.min_speedup is not None and min(speedups) < args.min_speedup:
+        worst = min(micro.items(), key=lambda kv: kv[1]["speedup"])
+        print(
+            f"FAIL: {worst[0]} speedup {worst[1]['speedup']}x "
+            f"is below the --min-speedup gate of {args.min_speedup}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

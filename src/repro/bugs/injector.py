@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.bugs.instance import BugInstance
-from repro.bugs.mutators import MutationCandidate, enumerate_mutations, line_identifiers
+from repro.bugs.mutators import MutationCandidate, enumerate_mutations
 from repro.hdl.elaborate import ElaboratedDesign
 from repro.hdl.lint import compile_source
 from repro.hdl.source import SourceFile, strip_comment

@@ -34,22 +34,30 @@ class PipelineConfig:
     train_fraction: float = 0.9
 
     @classmethod
-    def small(cls, seed: int = 2025) -> "PipelineConfig":
+    def small(cls, seed: int = 2025, workers: int = 1) -> "PipelineConfig":
         """A configuration sized for fast tests (a handful of designs)."""
         return cls(
             seed=seed,
             corpus=CorpusConfig(seed=seed, design_count=10, corrupted_fraction=0.3),
-            stage2=Stage2Config(seed=seed + 1, random_cycles=32, max_bugs_per_design=3),
+            stage2=Stage2Config(
+                seed=seed + 1, random_cycles=32, max_bugs_per_design=3, workers=workers
+            ),
             stage3=Stage3Config(seed=seed + 2),
         )
 
     @classmethod
-    def default(cls, seed: int = 2025, design_count: int = 150) -> "PipelineConfig":
-        """The benchmark-scale configuration."""
+    def default(
+        cls, seed: int = 2025, design_count: int = 150, workers: int = 1
+    ) -> "PipelineConfig":
+        """The benchmark-scale configuration.
+
+        ``workers`` sizes the Stage-2 multiprocessing fan-out (the dominant
+        cost at this scale); the output is identical for any worker count.
+        """
         return cls(
             seed=seed,
             corpus=CorpusConfig(seed=seed, design_count=design_count),
-            stage2=Stage2Config(seed=seed + 1),
+            stage2=Stage2Config(seed=seed + 1, workers=workers),
             stage3=Stage3Config(seed=seed + 2),
         )
 

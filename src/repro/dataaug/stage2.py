@@ -18,14 +18,16 @@ For every sample that survived Stage 1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace
+from multiprocessing import get_context
 from typing import Optional
 
 from repro.bugs.injector import BugInjector, InjectionConfig
 from repro.bugs.taxonomy import classify_direct
 from repro.corpus.generator import CorpusSample
 from repro.dataaug.datasets import SvaBugEntry, VerilogBugEntry
-from repro.hdl.elaborate import AssertionSpec, ElaboratedDesign
+from repro.hdl.elaborate import ElaboratedDesign
 from repro.hdl.lint import compile_source
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stimulus import StimulusGenerator
@@ -43,6 +45,8 @@ class Stage2Config:
     max_mined_assertions: int = 5
     max_bugs_per_design: int = 6
     injection: InjectionConfig = field(default_factory=InjectionConfig)
+    #: Worker-pool size for the per-sample fan-out; <= 1 runs in-process.
+    workers: int = 1
 
 
 @dataclass
@@ -56,6 +60,16 @@ class Stage2Result:
     injected_bugs: int = 0
     rejected_not_compiling: int = 0
     designs_without_valid_svas: int = 0
+
+    def merge(self, other: "Stage2Result") -> None:
+        """Fold another (e.g. per-sample) result into this one, in order."""
+        self.sva_bug.extend(other.sva_bug)
+        self.verilog_bug.extend(other.verilog_bug)
+        self.candidate_svas += other.candidate_svas
+        self.validated_svas += other.validated_svas
+        self.injected_bugs += other.injected_bugs
+        self.rejected_not_compiling += other.rejected_not_compiling
+        self.designs_without_valid_svas += other.designs_without_valid_svas
 
 
 def _template_assertion_blocks(sample: CorpusSample) -> list[MinedAssertion]:
@@ -85,13 +99,26 @@ def _simulate(design: ElaboratedDesign, seed: int, cycles: int):
 
 
 class Stage2Runner:
-    """Runs Stage 2 for a batch of compiled corpus samples."""
+    """Runs Stage 2 for a batch of compiled corpus samples.
+
+    Samples are independent, so ``run`` fans them out across a
+    ``multiprocessing`` pool when ``config.workers > 1``.  Mutation seeding
+    is derived per sample (from the config seed and the sample name), which
+    makes the output identical whether the batch runs serially or in
+    parallel, and independent of sample order.
+    """
 
     def __init__(self, config: Optional[Stage2Config] = None):
         self._config = config or Stage2Config()
-        injection = self._config.injection
-        injection.max_bugs_per_design = self._config.max_bugs_per_design
-        self._injector = BugInjector(injection)
+
+    def _sample_injector(self, sample: CorpusSample) -> BugInjector:
+        """A fresh, deterministically seeded injector for one sample."""
+        injection = replace(
+            self._config.injection,
+            seed=self._config.injection.seed ^ zlib.crc32(sample.name.encode()),
+            max_bugs_per_design=self._config.max_bugs_per_design,
+        )
+        return BugInjector(injection)
 
     # ------------------------------------------------------------------ #
     # SVA generation + validation
@@ -104,6 +131,10 @@ class Stage2Runner:
 
         Returns the augmented golden source (with only valid SVAs) and its
         elaborated design, or ``(None, None)`` when nothing useful remains.
+        Candidates are validated against an *independent* stimulus
+        (``seed + 1``), not the trace they were mined from -- a mined
+        invariant trivially holds on its own mining trace, so validating
+        there would be vacuous.
         """
         golden_compile = compile_source(sample.source)
         if not golden_compile.ok or golden_compile.design is None:
@@ -131,12 +162,18 @@ class Stage2Runner:
         if not augmented_compile.ok or augmented_compile.design is None:
             result.designs_without_valid_svas += 1
             return None, None
+        # The assertions do not change the signal set, so the validation
+        # trace can be produced from the golden design (compiled once above
+        # would even suffice structurally) -- but it must use a different
+        # stimulus seed than the mining trace to actually test anything.
         try:
-            trace = _simulate(augmented_compile.design, self._config.seed + 1, self._config.random_cycles)
+            validation_trace = _simulate(
+                augmented_compile.design, self._config.seed + 1, self._config.random_cycles
+            )
         except SimulationError:
             result.designs_without_valid_svas += 1
             return None, None
-        report = check_assertions(augmented_compile.design, trace)
+        report = check_assertions(augmented_compile.design, validation_trace)
         failing = set(report.failed_assertions)
         if failing:
             # Drop candidates whose assertion failed on the golden design and retry once.
@@ -163,7 +200,7 @@ class Stage2Runner:
         augmented_golden, golden_design = self.validated_assertions(sample, result)
         if augmented_golden is None or golden_design is None:
             return
-        bugs = self._injector.inject(sample.name, augmented_golden, golden_design)
+        bugs = self._sample_injector(sample).inject(sample.name, augmented_golden, golden_design)
         result.injected_bugs += len(bugs)
         for index, bug in enumerate(bugs):
             buggy_compile = compile_source(bug.buggy_source)
@@ -224,10 +261,32 @@ class Stage2Runner:
             )
 
     def run(self, samples: list[CorpusSample]) -> Stage2Result:
+        """Run Stage 2 for every sample, fanning out to workers when asked.
+
+        Results are merged in submission order, so worker count never
+        changes the output.
+        """
+        workers = min(self._config.workers, len(samples))
+        if workers <= 1:
+            result = Stage2Result()
+            for sample in samples:
+                self.process_sample(sample, result)
+            return result
+        context = get_context()
+        jobs = [(self._config, sample) for sample in samples]
         result = Stage2Result()
-        for sample in samples:
-            self.process_sample(sample, result)
+        with context.Pool(processes=workers) as pool:
+            for sample_result in pool.imap(_process_sample_job, jobs):
+                result.merge(sample_result)
         return result
+
+
+def _process_sample_job(job: tuple[Stage2Config, CorpusSample]) -> Stage2Result:
+    """Pool entry point: run one sample in a worker and ship its result back."""
+    config, sample = job
+    result = Stage2Result()
+    Stage2Runner(config).process_sample(sample, result)
+    return result
 
 
 def _assertion_label(candidate: MinedAssertion) -> str:

@@ -10,7 +10,7 @@ module bodies in SystemVerilog source.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Union
+from typing import Iterator, Optional, Union
 
 
 # --------------------------------------------------------------------------- #

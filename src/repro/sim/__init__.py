@@ -9,9 +9,16 @@ paper's EDA-tool validation loop.
 
 from repro.sim.values import LogicValue, X, ZERO, ONE
 from repro.sim.evaluator import Evaluator, EvalError
-from repro.sim.engine import Simulator, SimulationError
+from repro.sim.engine import (
+    InterpSimulator,
+    SimulationError,
+    Simulator,
+    SimulatorOptions,
+    simulate,
+)
+from repro.sim.compile import CompiledSimulator, CompileError, compile_design
 from repro.sim.stimulus import Stimulus, StimulusGenerator, reset_sequence
-from repro.sim.trace import Trace, TraceSample
+from repro.sim.trace import DiffTrace, Trace, TraceSample
 from repro.sim.vcd import write_vcd
 
 __all__ = [
@@ -22,11 +29,18 @@ __all__ = [
     "Evaluator",
     "EvalError",
     "Simulator",
+    "SimulatorOptions",
+    "InterpSimulator",
+    "CompiledSimulator",
+    "CompileError",
+    "compile_design",
+    "simulate",
     "SimulationError",
     "Stimulus",
     "StimulusGenerator",
     "reset_sequence",
     "Trace",
+    "DiffTrace",
     "TraceSample",
     "write_vcd",
 ]

@@ -41,10 +41,30 @@ class SimulatorOptions:
     clock: Optional[str] = None  # name of the clock signal; autodetected if None
     x_initial_state: bool = False  # initialise registers to x instead of 0
     max_settle_iterations: int = _MAX_SETTLE_ITERATIONS
+    backend: str = "auto"  # "auto" | "compiled" | "interp"
 
 
-class Simulator:
-    """Cycle-based simulator for one elaborated design."""
+def detect_clock(design: ElaboratedDesign) -> str:
+    """Pick the design's clock: sequential/assertion clocks first, then by name."""
+    candidates = design.clock_candidates()
+    if candidates:
+        return candidates[0]
+    for preferred in ("clk", "clock", "clk_i"):
+        if preferred in design.signals:
+            return preferred
+    # Purely combinational design: synthesise a virtual clock.
+    return "__virtual_clock"
+
+
+class InterpSimulator:
+    """Tree-walking cycle-based simulator for one elaborated design.
+
+    This is the reference backend: it re-evaluates the AST directly and is
+    kept both as a fallback for constructs the compiled backend rejects and
+    as the oracle for differential testing (`tests/test_backend_differential`).
+    Use the :func:`Simulator` factory unless you need this backend
+    specifically.
+    """
 
     def __init__(self, design: ElaboratedDesign, options: Optional[SimulatorOptions] = None):
         self._design = design
@@ -121,14 +141,7 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def _detect_clock(self) -> str:
-        candidates = self._design.clock_candidates()
-        if candidates:
-            return candidates[0]
-        for preferred in ("clk", "clock", "clk_i"):
-            if preferred in self._design.signals:
-                return preferred
-        # Purely combinational design: synthesise a virtual clock.
-        return "__virtual_clock"
+        return detect_clock(self._design)
 
     def _initialise_state(self) -> None:
         for signal in self._design.signals.values():
@@ -195,7 +208,7 @@ class Simulator:
 
     def _write_continuous(self, target: ast.Expression, value: LogicValue) -> bool:
         executor = StatementExecutor(self._design, self._env)
-        updates = executor._expand_target(target, value)
+        updates = executor.expand_target(target, value)
         changed = False
         for name, new_value in updates:
             signal = self._design.signals.get(name)
@@ -276,6 +289,37 @@ class Simulator:
         if edge == "negedge":
             return before == 1 and after == 0
         return before == 0 and after == 1
+
+
+def Simulator(design: ElaboratedDesign, options: Optional[SimulatorOptions] = None):
+    """Build a simulator for ``design``, choosing the fastest usable backend.
+
+    With ``options.backend == "auto"`` (the default) the design is lowered by
+    the compiled backend (:mod:`repro.sim.compile`); constructs the compiler
+    does not support fall back to the tree-walking :class:`InterpSimulator`.
+    ``"compiled"`` and ``"interp"`` force one backend (``"compiled"`` raises
+    :class:`SimulationError` when the design cannot be compiled).
+
+    Both backends expose the same API (``step``/``run``/``trace``/``value``/
+    ``peek``) and produce `equals()`-identical traces.
+    """
+    options = options or SimulatorOptions()
+    backend = options.backend
+    if backend not in ("auto", "compiled", "interp"):
+        raise ValueError(
+            f"unknown simulator backend '{backend}' (expected 'auto', 'compiled' or 'interp')"
+        )
+    if backend == "interp":
+        return InterpSimulator(design, options=options)
+    # Imported lazily: repro.sim.compile imports from this module.
+    from repro.sim.compile import CompiledSimulator, CompileError
+
+    try:
+        return CompiledSimulator(design, options=options)
+    except CompileError as exc:
+        if backend == "compiled":
+            raise SimulationError(f"design cannot be compiled: {exc}") from exc
+        return InterpSimulator(design, options=options)
 
 
 def simulate(

@@ -118,13 +118,13 @@ class Evaluator:
     def _eval_reduction(self, op: str, operand: LogicValue) -> LogicValue:
         if operand.has_unknown:
             return LogicValue.unknown(1)
-        bits = [(operand.to_int() >> i) & 1 for i in range(operand.width)]
+        value = operand.to_int()
         if op == "&":
-            result = int(all(bits))
+            result = int(value == operand.mask)
         elif op == "|":
-            result = int(any(bits))
+            result = int(value != 0)
         else:
-            result = sum(bits) & 1
+            result = value.bit_count() & 1
         return LogicValue.from_int(result, 1)
 
     def _eval_binary(self, expr: ast.Binary) -> LogicValue:
@@ -247,14 +247,13 @@ class Evaluator:
             operand = self.evaluate(expr.args[0])
             if operand.has_unknown:
                 return LogicValue.unknown(32)
-            return LogicValue.from_int(bin(operand.to_int()).count("1"), 32)
+            return LogicValue.from_int(operand.to_int().bit_count(), 32)
         if name in ("$onehot", "$onehot0"):
             operand = self.evaluate(expr.args[0])
             if operand.has_unknown:
                 return LogicValue.unknown(1)
-            ones = bin(operand.to_int()).count("1")
-            limit = 1 if name == "$onehot" else 1
-            ok = ones == 1 if name == "$onehot" else ones <= limit
+            ones = operand.to_int().bit_count()
+            ok = ones == 1 if name == "$onehot" else ones <= 1
             return LogicValue.from_int(int(ok), 1)
         if name == "$clog2":
             operand = self.evaluate(expr.args[0])

@@ -74,17 +74,22 @@ class StatementExecutor:
             value = self._evaluator().evaluate(statement.value)
         except EvalError as exc:
             raise ExecutionError(f"line {statement.line}: {exc}") from exc
-        for name, new_value in self._expand_target(statement.target, value):
+        for name, new_value in self.expand_target(statement.target, value):
             if statement.blocking:
                 self._env[name] = new_value
                 self._result.blocking_updates[name] = new_value
             else:
                 self._result.nonblocking_updates[name] = new_value
 
-    def _expand_target(
+    def expand_target(
         self, target: ast.Expression, value: LogicValue
     ) -> list[tuple[str, LogicValue]]:
-        """Resolve an assignment target into (signal, full-width new value) pairs."""
+        """Resolve an assignment target into (signal, full-width new value) pairs.
+
+        Public because the simulation engine uses the same expansion for
+        continuous assignments (``assign lhs = rhs``) as the executor uses
+        for procedural assignments.
+        """
         if isinstance(target, ast.Identifier):
             signal = self._design.signals.get(target.name)
             width = signal.width if signal is not None else value.width

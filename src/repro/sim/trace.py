@@ -87,6 +87,10 @@ class Trace:
         ]
         return Trace(signals=list(self.signals), samples=renumbered)
 
+    def materialized(self) -> "Trace":
+        """This trace with every sample realised as plain dicts (identity here)."""
+        return self
+
     def render(self, names: Optional[list[str]] = None, max_cycles: int = 32) -> str:
         """Render a compact text waveform table (one row per signal)."""
         names = names or self.signals
@@ -100,3 +104,102 @@ class Trace:
                 cells.append("   x" if value.has_unknown else f"{value.to_int():>4d}")
             rows.append(f"{name:<10.10s}" + " ".join(cells))
         return "\n".join(rows)
+
+
+class DiffTrace(Trace):
+    """A trace stored as per-cycle diffs instead of full snapshots.
+
+    The compiled simulation backend records, for every cycle, only the
+    signals whose value changed since the previous sampling point (two
+    sampling points per cycle: preponed and post-edge).  Samples are
+    materialised into ordinary :class:`TraceSample` objects lazily, on first
+    access, and cached; unchanged sampling points share the predecessor's
+    dict so a quiet design costs almost nothing to store or to read.
+
+    The class satisfies the full :class:`Trace` API: any access that needs
+    the plain ``samples`` list (e.g. :meth:`Trace.slice`) transparently
+    materialises the whole trace first.
+    """
+
+    def __init__(self, signals: list[str], base: dict[str, LogicValue]):
+        # Deliberately does not call the dataclass __init__: `samples` is
+        # replaced by a lazily-materialised property.
+        self.signals = list(signals)
+        self._base = dict(base)
+        self._pre_diffs: list[dict[str, LogicValue]] = []
+        self._post_diffs: list[dict[str, LogicValue]] = []
+        self._cache: list[TraceSample] = []
+
+    # -- recording (used by the compiled backend) ----------------------- #
+
+    def append_diffs(
+        self, pre_diff: dict[str, LogicValue], post_diff: dict[str, LogicValue]
+    ) -> None:
+        """Record one cycle as (changes up to the preponed sample, changes up
+        to the post-edge sample)."""
+        self._pre_diffs.append(pre_diff)
+        self._post_diffs.append(post_diff)
+
+    def append(self, sample: TraceSample) -> None:  # pragma: no cover - guard
+        raise TypeError("DiffTrace records cycles via append_diffs(), not append()")
+
+    # -- lazy materialisation ------------------------------------------- #
+
+    def _materialize_to(self, index: int) -> None:
+        while len(self._cache) <= index:
+            cycle = len(self._cache)
+            previous = self._cache[-1].post_edge if self._cache else self._base
+            pre_diff = self._pre_diffs[cycle]
+            if pre_diff:
+                pre = dict(previous)
+                pre.update(pre_diff)
+            else:
+                pre = previous  # shared: consumers never mutate samples
+            post_diff = self._post_diffs[cycle]
+            if post_diff:
+                post = dict(pre)
+                post.update(post_diff)
+            else:
+                post = pre
+            self._cache.append(TraceSample(cycle=cycle, pre_edge=pre, post_edge=post))
+
+    @property
+    def samples(self) -> list[TraceSample]:  # type: ignore[override]
+        if self._pre_diffs:
+            self._materialize_to(len(self._pre_diffs) - 1)
+        return self._cache
+
+    @samples.setter
+    def samples(self, value: list[TraceSample]) -> None:  # pragma: no cover - guard
+        raise TypeError("DiffTrace samples are derived from recorded diffs")
+
+    def materialized(self) -> Trace:
+        """An eager :class:`Trace` copy (useful before pickling across processes)."""
+        return Trace(signals=list(self.signals), samples=list(self.samples))
+
+    # -- cheap accessors that avoid materialising the whole run ---------- #
+
+    def __len__(self) -> int:
+        return len(self._pre_diffs)
+
+    def __iter__(self) -> Iterator[TraceSample]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.samples[index]
+        if index < 0:
+            index += len(self)
+        if index < 0 or index >= len(self):
+            raise IndexError("trace index out of range")
+        self._materialize_to(index)
+        return self._cache[index]
+
+    def value_at(self, name: str, cycle: int) -> LogicValue:
+        return self[cycle].sampled(name)
+
+    def last(self) -> TraceSample:
+        if not self._pre_diffs:
+            raise IndexError("trace is empty")
+        return self[len(self) - 1]

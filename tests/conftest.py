@@ -1,0 +1,12 @@
+"""Test bootstrap: make ``src/`` importable without installation.
+
+The suite also works against an installed package (``pip install -e .``);
+this only matters for the bare ``PYTHONPATH``-less invocation.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,147 @@
+"""Unit tests for 4-state values and expression evaluation (x-propagation)."""
+
+from repro.hdl import ast
+from repro.sim.evaluator import Evaluator
+from repro.sim.values import LogicValue, concat, merge_bits, replicate
+
+
+def lv(value: int, width: int) -> LogicValue:
+    return LogicValue.from_int(value, width)
+
+
+def xv(width: int) -> LogicValue:
+    return LogicValue.unknown(width)
+
+
+class TestLogicValue:
+    def test_from_int_wraps_two_complement(self):
+        assert lv(-1, 4).to_int() == 0b1111
+        assert lv(16, 4).to_int() == 0
+        assert lv(300, 8).to_int() == 300 % 256
+
+    def test_known_bits_under_xmask_are_cleared(self):
+        value = LogicValue(value=0b1111, xmask=0b0101, width=4)
+        assert value.value == 0b1010
+        assert value.xmask == 0b0101
+        assert value.has_unknown
+
+    def test_truthiness(self):
+        assert lv(2, 4).truth().equals(LogicValue.from_int(1, 1))
+        assert lv(0, 4).truth().equals(LogicValue.from_int(0, 1))
+        # All-zero known bits with any x bit: truth is unknown.
+        assert LogicValue(value=0, xmask=0b0010, width=4).truth().has_unknown
+        # A known 1 bit wins even when other bits are x.
+        assert LogicValue(value=0b0001, xmask=0b0010, width=4).truth().is_true()
+
+    def test_to_signed(self):
+        assert lv(0b1111, 4).to_signed() == -1
+        assert lv(0b0111, 4).to_signed() == 7
+
+    def test_resize_truncates_and_extends(self):
+        assert lv(0b1011, 4).resized(2).to_int() == 0b11
+        assert lv(0b11, 2).resized(6).to_int() == 0b11
+        # Resize keeps x positions that survive the truncation.
+        wide = LogicValue(value=0, xmask=0b1000, width=4)
+        assert wide.resized(3).is_fully_known
+        assert wide.resized(4).has_unknown
+
+    def test_bit_and_slice_out_of_range_read_x(self):
+        value = lv(0b1010, 4)
+        assert value.bit(1).to_int() == 1
+        assert value.bit(9).has_unknown
+        assert value.slice(2, 1).to_int() == 0b01
+        assert value.slice(5, 3).xmask == 0b110  # bits 4..5 beyond width
+
+    def test_concat_and_replicate(self):
+        joined = concat([lv(0b10, 2), lv(0b01, 2)])
+        assert joined.width == 4 and joined.to_int() == 0b1001
+        assert replicate(3, lv(0b1, 1)).to_int() == 0b111
+        with_x = concat([xv(1), lv(0b1, 1)])
+        assert with_x.xmask == 0b10 and with_x.value == 0b01
+
+    def test_merge_bits(self):
+        merged = merge_bits(lv(0b0000, 4), lv(0b11, 2), 2, 1)
+        assert merged.to_int() == 0b0110
+        merged_x = merge_bits(lv(0b1111, 4), xv(1), 0, 0)
+        assert merged_x.xmask == 0b0001 and merged_x.value == 0b1110
+
+
+def evaluate(expr: ast.Expression, env: dict[str, LogicValue]) -> LogicValue:
+    return Evaluator(env).evaluate(expr)
+
+
+def binary(op: str, left: LogicValue, right: LogicValue) -> LogicValue:
+    env = {"a": left, "b": right}
+    return evaluate(ast.Binary(op=op, left=ast.Identifier("a"), right=ast.Identifier("b")), env)
+
+
+def unary(op: str, operand: LogicValue) -> LogicValue:
+    return evaluate(ast.Unary(op=op, operand=ast.Identifier("a")), {"a": operand})
+
+
+class TestEvaluatorXPropagation:
+    def test_arithmetic_poisons_on_x(self):
+        result = binary("+", lv(3, 4), xv(4))
+        assert result.has_unknown and result.xmask == 0b1111
+
+    def test_arithmetic_known(self):
+        assert binary("+", lv(9, 4), lv(9, 4)).to_int() == 2  # wraps at width 4
+        assert binary("-", lv(0, 4), lv(1, 4)).to_int() == 0b1111
+        assert binary("*", lv(5, 8), lv(7, 8)).to_int() == 35
+        assert binary("/", lv(9, 8), lv(0, 8)).has_unknown  # div by zero -> x
+
+    def test_logical_short_circuit_dominates_x(self):
+        # 0 && x == 0, 1 || x == 1 (Verilog truth table).
+        assert binary("&&", lv(0, 1), xv(1)).is_false()
+        assert binary("||", lv(1, 1), xv(1)).is_true()
+        assert binary("&&", lv(1, 1), xv(1)).has_unknown
+        assert binary("||", lv(0, 1), xv(1)).has_unknown
+
+    def test_equality(self):
+        assert binary("==", lv(5, 4), lv(5, 4)).is_true()
+        assert binary("==", lv(5, 4), xv(4)).has_unknown
+        # Case equality compares x positions literally.
+        assert binary("===", xv(4), xv(4)).is_true()
+        assert binary("!==", xv(4), lv(0, 4)).is_true()
+
+    def test_relational(self):
+        assert binary("<", lv(3, 4), lv(7, 4)).is_true()
+        assert binary(">=", lv(3, 4), xv(4)).has_unknown
+
+    def test_ternary_merges_identical_branches_under_x(self):
+        expr = ast.Ternary(
+            condition=ast.Identifier("c"),
+            if_true=ast.Identifier("a"),
+            if_false=ast.Identifier("b"),
+        )
+        env = {"c": xv(1), "a": lv(5, 4), "b": lv(5, 4)}
+        assert evaluate(expr, env).to_int() == 5
+        env["b"] = lv(6, 4)
+        assert evaluate(expr, env).has_unknown
+
+    def test_reductions(self):
+        assert unary("&", lv(0b111, 3)).is_true()
+        assert unary("&", lv(0b101, 3)).is_false()
+        assert unary("|", lv(0, 3)).is_false()
+        assert unary("|", lv(0b100, 3)).is_true()
+        assert unary("^", lv(0b1011, 4)).is_true()  # three ones -> odd parity
+        assert unary("^", lv(0b1001, 4)).is_false()
+        assert unary("&", xv(3)).has_unknown
+
+    def test_countones_and_onehot(self):
+        def call(name: str, value: LogicValue) -> LogicValue:
+            return evaluate(
+                ast.SystemCall(name=name, args=[ast.Identifier("a")]), {"a": value}
+            )
+
+        assert call("$countones", lv(0b1011, 4)).to_int() == 3
+        assert call("$countones", xv(4)).has_unknown
+        assert call("$onehot", lv(0b0100, 4)).is_true()
+        assert call("$onehot", lv(0b0110, 4)).is_false()
+        assert call("$onehot0", lv(0, 4)).is_true()
+        assert call("$onehot0", lv(0b0110, 4)).is_false()
+
+    def test_shift_keeps_left_operand_width(self):
+        assert binary("<<", lv(0b0101, 4), lv(1, 2)).to_int() == 0b1010
+        result = binary("<<", lv(0b0101, 4), xv(2))
+        assert result.width == 4 and result.xmask == 0b1111
