@@ -1,0 +1,169 @@
+"""End-to-end evaluation benchmark harness.
+
+Times every leg of the repair-verification loop -- corpus + augmentation
+pipeline, policy training (pretrain -> SFT -> DPO with semantic challenging
+mining), and the SVA-Eval-Machine benchmark run cold and warm against the
+verdict cache -- and records the resulting pass@k trajectory in
+``BENCH_eval.json`` so successive PRs can track both the speed and the
+quality of the evaluation subsystem.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_eval.py [--design-count N] [--output PATH]
+
+Schema of the output (``bench_eval/v1``)::
+
+    {
+      "schema": "bench_eval/v1",
+      "config": {...},                       # scale knobs of this run
+      "pipeline": {"wall_time_s", "sva_bug_entries", "eval_cases"},
+      "training": {"wall_time_s", "stage", "challenging_cases"},
+      "eval": {
+        "cold": {"wall_time_s", "cache_hits", "cache_misses"},
+        "warm": {"wall_time_s", "cache_hits", "cache_misses"},
+        "warm_speedup": <float>,             # cold wall / warm wall
+        "candidates_verified": <int>,
+        "verdicts": {...},                   # status histogram
+        "pass@k": {...}                      # the headline numbers
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dataaug.pipeline import DataAugmentationPipeline, PipelineConfig  # noqa: E402
+from repro.eval.harness import EvalConfig, EvalHarness  # noqa: E402
+from repro.model.assertsolver_model import AssertSolverModel  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--design-count",
+        type=int,
+        default=0,
+        help="corpus size; 0 (default) uses the small configuration",
+    )
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--workers", type=int, default=1, help="verification workers")
+    parser.add_argument("--ks", type=int, nargs="+", default=[1, 5])
+    parser.add_argument(
+        "--stage", choices=("sft", "dpo"), default="dpo", help="training depth to benchmark"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_eval.json",
+    )
+    args = parser.parse_args()
+
+    if args.design_count > 0:
+        pipeline_config = PipelineConfig.default(seed=args.seed, design_count=args.design_count)
+        scale = f"default({args.design_count})"
+    else:
+        pipeline_config = PipelineConfig.small(seed=args.seed)
+        scale = "small"
+
+    started = time.perf_counter()
+    datasets = DataAugmentationPipeline(pipeline_config).run()
+    pipeline_wall = time.perf_counter() - started
+    print(
+        f"pipeline[{scale}]      {pipeline_wall:6.2f}s   "
+        f"{datasets.statistics.sva_bug_entries} SVA-Bug entries, "
+        f"{len(datasets.sva_eval_machine)} eval cases"
+    )
+    if not datasets.sva_eval_machine:
+        print("FAIL: held-out split is empty; increase --design-count")
+        return 1
+
+    started = time.perf_counter()
+    model = AssertSolverModel(seed=args.seed)
+    model.pretrain(datasets.verilog_pt)
+    model.supervised_finetune(datasets.sva_bug_train, datasets.verilog_bug)
+    if args.stage == "dpo":
+        model.learn_from_errors(datasets.sva_bug_train)
+    training_wall = time.perf_counter() - started
+    challenging = model.history.challenging_stats.get("challenging", 0)
+    print(
+        f"training[{args.stage}]        {training_wall:6.2f}s   "
+        f"{challenging} challenging cases mined semantically"
+    )
+
+    eval_config = EvalConfig(seed=args.seed, ks=tuple(sorted(set(args.ks))), workers=args.workers)
+    with tempfile.TemporaryDirectory(prefix="bench_eval_cache_") as cache_root:
+        eval_config.cache_dir = Path(cache_root)
+        started = time.perf_counter()
+        cold = EvalHarness(eval_config).run(model, datasets.sva_eval_machine)
+        cold_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = EvalHarness(eval_config).run(model, datasets.sva_eval_machine)
+        warm_wall = time.perf_counter() - started
+
+    if cold.summary() != warm.summary():
+        print("FAIL: warm-cache summary differs from the cold run")
+        return 1
+
+    summary = cold.summary()
+    rates = {key: value for key, value in summary.items() if key.startswith("pass@")}
+    print(
+        f"eval cold             {cold_wall:6.2f}s   "
+        f"{summary['candidates_verified']} candidates, {cold.cache_misses} cache misses"
+    )
+    print(
+        f"eval warm             {warm_wall:6.2f}s   "
+        f"{warm.cache_hits} cache hits ({cold_wall / max(warm_wall, 1e-9):.1f}x faster)"
+    )
+    print("pass rates            " + "  ".join(f"{k}={v:.3f}" for k, v in rates.items()))
+
+    report = {
+        "schema": "bench_eval/v1",
+        "config": {
+            "scale": scale,
+            "seed": args.seed,
+            "workers": args.workers,
+            "ks": sorted(set(args.ks)),
+            "stage": args.stage,
+        },
+        "pipeline": {
+            "wall_time_s": round(pipeline_wall, 3),
+            "sva_bug_entries": datasets.statistics.sva_bug_entries,
+            "eval_cases": len(datasets.sva_eval_machine),
+        },
+        "training": {
+            "wall_time_s": round(training_wall, 3),
+            "stage": model.stage.value,
+            "challenging_cases": challenging,
+        },
+        "eval": {
+            "cold": {
+                "wall_time_s": round(cold_wall, 3),
+                "cache_hits": cold.cache_hits,
+                "cache_misses": cold.cache_misses,
+            },
+            "warm": {
+                "wall_time_s": round(warm_wall, 3),
+                "cache_hits": warm.cache_hits,
+                "cache_misses": warm.cache_misses,
+            },
+            "warm_speedup": round(cold_wall / max(warm_wall, 1e-9), 2),
+            "candidates_verified": summary["candidates_verified"],
+            "verdicts": summary["verdicts"],
+            "pass@k": rates,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.corpus.metadata import length_bin
@@ -102,6 +102,19 @@ class SvaBugEntry:
             labels.append(edit)
         labels.append("Cond" if self.is_conditional else "Non_cond")
         return labels
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, used to persist the held-out evaluation split.
+
+        Every field is a JSON-native scalar or list, so ``asdict`` is exact
+        and automatically stays in sync with the dataclass definition.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SvaBugEntry":
+        """Inverse of :meth:`to_dict` (round-trips a persisted split)."""
+        return cls(**payload)
 
 
 @dataclass

@@ -1,0 +1,76 @@
+"""Sharded execution of verification jobs.
+
+A :class:`VerificationJob` is one evaluation case with its ranked candidate
+fixes -- everything a worker needs, as plain picklable data.  Jobs are
+independent, every seed is carried inside the job, and results are merged in
+submission order, so the output is bit-identical for any worker count (the
+same per-case determinism discipline as the Stage-2 fan-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Optional
+
+from repro.eval.cache import VerdictCache
+from repro.eval.verifier import CandidateFix, RepairVerdict, SemanticVerifier, VerifierConfig
+
+
+@dataclass(frozen=True)
+class VerificationJob:
+    """One case's worth of verification work."""
+
+    case_name: str
+    buggy_source: str
+    fixes: tuple[CandidateFix, ...]
+    seeds: tuple[int, ...]
+    cycles: int = 48
+
+
+@dataclass
+class ShardResult:
+    """Verdicts for one job plus the worker's cache traffic."""
+
+    case_name: str
+    verdicts: list[RepairVerdict] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
+    cache = VerdictCache(cache_dir) if cache_dir else None
+    verifier = SemanticVerifier(config=VerifierConfig(cycles=job.cycles), cache=cache)
+    result = ShardResult(case_name=job.case_name)
+    for fix in job.fixes:
+        result.verdicts.append(verifier.verify(job.buggy_source, fix, job.seeds))
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+    return result
+
+
+def _run_job_entry(payload: tuple[VerificationJob, Optional[str]]) -> ShardResult:
+    """Pool entry point (module-level so it pickles)."""
+    job, cache_dir = payload
+    return _run_job(job, cache_dir)
+
+
+def run_verification_jobs(
+    jobs: list[VerificationJob],
+    workers: int = 1,
+    cache_dir: Optional[Path | str] = None,
+) -> list[ShardResult]:
+    """Verify every job, fanning out across a process pool when asked.
+
+    Returns one :class:`ShardResult` per job, in job order.
+    """
+    cache_arg = str(cache_dir) if cache_dir is not None else None
+    workers = min(workers, len(jobs)) if jobs else 0
+    if workers <= 1:
+        return [_run_job(job, cache_arg) for job in jobs]
+    context = get_context()
+    payloads = [(job, cache_arg) for job in jobs]
+    with context.Pool(processes=workers) as pool:
+        return list(pool.imap(_run_job_entry, payloads))

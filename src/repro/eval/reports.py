@@ -1,0 +1,56 @@
+"""Machine-readable evaluation reports.
+
+One benchmark run produces three artefacts in the output directory:
+
+* ``eval_cases.jsonl``  -- one JSON object per evaluation case with every
+  verified candidate and its verdict (the audit trail);
+* ``eval_summary.json`` -- the aggregate summary (schema ``repro_eval/v1``):
+  pass@k plus the taxonomy / family / length-bin breakdowns;
+* ``eval_split.jsonl``  -- optionally, the held-out entries themselves, so a
+  benchmark run is reproducible without re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.dataaug.datasets import SvaBugEntry
+from repro.eval.harness import EvalReport
+
+
+def write_reports(
+    report: EvalReport,
+    output_dir: Path | str,
+    split: Optional[Sequence[SvaBugEntry]] = None,
+) -> dict[str, Path]:
+    """Write the JSONL / JSON artefacts for one run; returns their paths."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    cases_path = output_dir / "eval_cases.jsonl"
+    with cases_path.open("w") as stream:
+        for case in report.cases:
+            stream.write(json.dumps(case.to_dict(), sort_keys=True) + "\n")
+
+    summary_path = output_dir / "eval_summary.json"
+    summary_path.write_text(json.dumps(report.summary(), indent=2, sort_keys=True) + "\n")
+
+    paths = {"cases": cases_path, "summary": summary_path}
+    if split is not None:
+        split_path = output_dir / "eval_split.jsonl"
+        with split_path.open("w") as stream:
+            for entry in sorted(split, key=lambda e: e.name):
+                stream.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+        paths["split"] = split_path
+    return paths
+
+
+def read_split(path: Path | str) -> list[SvaBugEntry]:
+    """Load a persisted ``eval_split.jsonl`` back into dataset entries."""
+    entries = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            entries.append(SvaBugEntry.from_dict(json.loads(line)))
+    return entries

@@ -109,14 +109,26 @@ class AssertSolverModel(RepairEngine):
         samples: int = 20,
         temperature: float = 0.2,
         config: Optional[DpoConfig] = None,
+        verifier=None,
     ) -> DpoReport:
-        """Challenging-case mining + DPO (Section III-C)."""
+        """Challenging-case mining + DPO (Section III-C).
+
+        ``verifier`` (a :class:`repro.eval.verifier.SemanticVerifier`) lets
+        the caller share a verdict cache with the evaluation harness, making
+        repeat mining runs incremental; omitted, a fresh uncached verifier
+        is used.
+        """
         self._reference_policy = RepairPolicy(
             weights=self.policy.weights.copy(),
             language_model=self.knowledge.language_model if self.knowledge.is_trained else None,
         )
         triples, stats = collect_challenging_cases(
-            self, sva_entries, samples=samples, temperature=temperature, seed=self._seed
+            self,
+            sva_entries,
+            samples=samples,
+            temperature=temperature,
+            seed=self._seed,
+            verifier=verifier,
         )
         self.history.challenging_stats = stats
         trainer = DpoTrainer(self.policy, self._reference_policy, config)
@@ -164,6 +176,40 @@ class AssertSolverModel(RepairEngine):
                 responses.append(self._fallback_response(case))
                 continue
             line_number, candidate, probability = sampled
+            explanation = build_explanation(
+                case, line_number, candidate.original_line, candidate.fixed_line, candidate.pattern
+            )
+            responses.append(
+                RepairResponse(
+                    bug_line=candidate.original_line.strip(),
+                    fixed_line=candidate.fixed_line.strip(),
+                    line_number=line_number,
+                    explanation=explanation,
+                    confidence=probability,
+                    metadata={"pattern": candidate.pattern, "stage": self.stage.value},
+                )
+            )
+        return responses
+
+    def propose_topk(
+        self,
+        case: RepairCase,
+        k: int = 5,
+        samples: int = 20,
+        temperature: float = 0.2,
+        seed: int = 0,
+    ) -> list[RepairResponse]:
+        """Exact top-k: enumerate the policy's joint distribution directly.
+
+        Unlike the sampling default on :class:`RepairEngine`, this is
+        deterministic for a fixed set of weights (``samples`` and ``seed``
+        are accepted for interface compatibility and ignored).
+        """
+        ranked = self.policy.top_candidates(case, k=k, temperature=temperature)
+        if not ranked:
+            return [self._fallback_response(case)]
+        responses: list[RepairResponse] = []
+        for line_number, candidate, probability in ranked:
             explanation = build_explanation(
                 case, line_number, candidate.original_line, candidate.fixed_line, candidate.pattern
             )

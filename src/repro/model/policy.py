@@ -30,6 +30,7 @@ from repro.model.features import (
 )
 from repro.model.fixes import FIX_PATTERNS, FixCandidate, generate_fix_candidates
 from repro.model.ngram import NgramLanguageModel
+from repro.model.response import candidate_key
 
 
 @dataclass
@@ -213,6 +214,37 @@ class RepairPolicy:
         fix_index = int(rng.choice(len(candidates), p=fix_probabilities))
         probability = float(line_probabilities[line_index] * fix_probabilities[fix_index])
         return line_number, candidates[fix_index], probability
+
+    def top_candidates(
+        self, case: RepairCase, k: int = 5, temperature: float = 1.0
+    ) -> list[tuple[int, FixCandidate, float]]:
+        """The ``k`` most probable distinct (line, fix) pairs, best first.
+
+        Because the policy factorises into two small softmaxes, the joint
+        distribution can be enumerated exactly -- no sampling noise, which is
+        what makes ranked pass@k on the benchmark deterministic.  Ties are
+        broken by line number then rewrite text, so the order is stable
+        across processes and platforms.
+        """
+        line_numbers, line_probabilities = self.line_distribution(case, temperature)
+        scored: list[tuple[float, int, str, FixCandidate]] = []
+        for line_index, line_number in enumerate(line_numbers):
+            candidates, fix_probabilities = self.fix_distribution(case, line_number, temperature)
+            for fix_index, candidate in enumerate(candidates):
+                joint = float(line_probabilities[line_index] * fix_probabilities[fix_index])
+                scored.append((joint, line_number, candidate.fixed_line, candidate))
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        top: list[tuple[int, FixCandidate, float]] = []
+        seen: set[str] = set()
+        for joint, line_number, fixed_line, candidate in scored:
+            key = candidate_key(line_number, fixed_line)
+            if key in seen:
+                continue
+            seen.add(key)
+            top.append((line_number, candidate, joint))
+            if len(top) >= k:
+                break
+        return top
 
     # ------------------------------------------------------------------ #
     # gradients (used by SFT and DPO)

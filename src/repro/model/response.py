@@ -14,7 +14,18 @@ import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.hdl.source import normalize_line
 from repro.model.case import RepairCase
+
+
+def candidate_key(line_number: int, fixed_line: str) -> str:
+    """Canonical identity of one candidate repair (line + normalised rewrite).
+
+    Shared by every dedup site (top-k ranking, exact enumeration,
+    challenging-case mining) so `y<=a|b;` and `y <= a | b;` always count as
+    the same candidate.
+    """
+    return f"{line_number}::{normalize_line(fixed_line)}"
 
 
 @dataclass
@@ -80,6 +91,42 @@ class RepairEngine(abc.ABC):
         """Convenience: a single (greedy-ish) response."""
         responses = self.propose(case, samples=1, temperature=0.05, seed=seed)
         return responses[0]
+
+    def propose_topk(
+        self,
+        case: RepairCase,
+        k: int = 5,
+        samples: int = 20,
+        temperature: float = 0.2,
+        seed: int = 0,
+    ) -> list[RepairResponse]:
+        """Up to ``k`` *distinct* candidate repairs, best first.
+
+        The default implementation draws ``samples`` responses, merges the
+        duplicates (same line, equivalent rewrite) and ranks the survivors by
+        how often they were sampled, then by confidence -- the empirical
+        ranking used for pass@k when an engine has no exact candidate
+        enumeration.  Engines with tractable candidate spaces should override
+        this with an exact top-k.
+        """
+        budget = max(samples, 2 * k)
+        responses = self.propose(case, samples=budget, temperature=temperature, seed=seed)
+        merged: dict[str, tuple[int, float, int, RepairResponse]] = {}
+        for index, response in enumerate(responses):
+            key = candidate_key(response.line_number, response.fixed_line)
+            count, best_confidence, first_index, first = merged.get(
+                key, (0, response.confidence, index, response)
+            )
+            merged[key] = (
+                count + 1,
+                max(best_confidence, response.confidence),
+                first_index,
+                first,
+            )
+        ranked = sorted(
+            merged.values(), key=lambda item: (-item[0], -item[1], item[2])
+        )
+        return [item[3] for item in ranked[:k]]
 
 
 def responses_as_json(responses: Sequence[RepairResponse]) -> str:

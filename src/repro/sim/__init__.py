@@ -19,7 +19,7 @@ from repro.sim.engine import (
 from repro.sim.compile import CompiledSimulator, CompileError, compile_design
 from repro.sim.stimulus import Stimulus, StimulusGenerator, reset_sequence
 from repro.sim.trace import DiffTrace, Trace, TraceSample
-from repro.sim.vcd import write_vcd
+from repro.sim.vcd import vcd_string, write_vcd
 
 __all__ = [
     "LogicValue",
@@ -42,5 +42,6 @@ __all__ = [
     "Trace",
     "DiffTrace",
     "TraceSample",
+    "vcd_string",
     "write_vcd",
 ]
