@@ -32,7 +32,12 @@ from repro.hdl.lint import compile_source
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stimulus import StimulusGenerator
 from repro.sva.checker import check_assertions
-from repro.sva.generator import MinedAssertion, insert_assertions, mine_assertions
+from repro.sva.generator import (
+    MinedAssertion,
+    insert_assertions,
+    mine_assertions,
+    template_assertion_blocks,
+)
 from repro.sva.logs import format_failure_log
 
 
@@ -47,6 +52,9 @@ class Stage2Config:
     injection: InjectionConfig = field(default_factory=InjectionConfig)
     #: Worker-pool size for the per-sample fan-out; <= 1 runs in-process.
     workers: int = 1
+    #: Assertion-checker backend for SVA validation and bug triage
+    #: ("auto" | "compiled" | "interp"); both produce identical outcomes.
+    checker_backend: str = "auto"
 
 
 @dataclass
@@ -70,25 +78,6 @@ class Stage2Result:
         self.injected_bugs += other.injected_bugs
         self.rejected_not_compiling += other.rejected_not_compiling
         self.designs_without_valid_svas += other.designs_without_valid_svas
-
-
-def _template_assertion_blocks(sample: CorpusSample) -> list[MinedAssertion]:
-    """Wrap the template's hand-written SVA blocks in MinedAssertion records."""
-    blocks: list[MinedAssertion] = []
-    for index, block in enumerate(sample.artifact.template_svas):
-        lines = block.splitlines()
-        property_text = "\n".join(lines[:-1]) if len(lines) > 1 else block
-        assert_text = lines[-1] if len(lines) > 1 else ""
-        blocks.append(
-            MinedAssertion(
-                name=f"template_{index}",
-                property_text=property_text,
-                assert_text=assert_text,
-                description=f"template assertion {index} of family {sample.artifact.family}",
-                kind="template",
-            )
-        )
-    return blocks
 
 
 def _simulate(design: ElaboratedDesign, seed: int, cycles: int):
@@ -144,7 +133,9 @@ class Stage2Runner:
         except SimulationError:
             return None, None
 
-        candidates = _template_assertion_blocks(sample)
+        candidates = template_assertion_blocks(
+            sample.artifact.template_svas, sample.artifact.family
+        )
         candidates.extend(
             mine_assertions(
                 golden_compile.design,
@@ -173,7 +164,9 @@ class Stage2Runner:
         except SimulationError:
             result.designs_without_valid_svas += 1
             return None, None
-        report = check_assertions(augmented_compile.design, validation_trace)
+        report = check_assertions(
+            augmented_compile.design, validation_trace, backend=self._config.checker_backend
+        )
         failing = set(report.failed_assertions)
         if failing:
             # Drop candidates whose assertion failed on the golden design and retry once.
@@ -213,7 +206,9 @@ class Stage2Runner:
             except SimulationError:
                 result.rejected_not_compiling += 1
                 continue
-            report = check_assertions(buggy_compile.design, trace)
+            report = check_assertions(
+                buggy_compile.design, trace, backend=self._config.checker_backend
+            )
             if report.passed:
                 result.verilog_bug.append(
                     VerilogBugEntry(

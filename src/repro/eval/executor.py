@@ -27,6 +27,9 @@ class VerificationJob:
     fixes: tuple[CandidateFix, ...]
     seeds: tuple[int, ...]
     cycles: int = 48
+    #: Assertion-checker backend each worker verifies with (outcome-identical
+    #: across backends; "interp" forces the differential oracle).
+    checker_backend: str = "auto"
 
 
 @dataclass
@@ -41,7 +44,10 @@ class ShardResult:
 
 def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
     cache = VerdictCache(cache_dir) if cache_dir else None
-    verifier = SemanticVerifier(config=VerifierConfig(cycles=job.cycles), cache=cache)
+    verifier = SemanticVerifier(
+        config=VerifierConfig(cycles=job.cycles, checker_backend=job.checker_backend),
+        cache=cache,
+    )
     result = ShardResult(case_name=job.case_name)
     for fix in job.fixes:
         result.verdicts.append(verifier.verify(job.buggy_source, fix, job.seeds))

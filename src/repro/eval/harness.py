@@ -46,6 +46,10 @@ class EvalConfig:
     cycles: Optional[int] = None  # None: use each entry's own stimulus_cycles
     workers: int = 1
     cache_dir: Optional[Path] = None
+    #: Assertion-checker backend the verification workers use
+    #: ("auto" | "compiled" | "interp"); outcomes are backend-independent,
+    #: so this only changes wall time (or forces the differential oracle).
+    checker_backend: str = "auto"
 
     @property
     def k(self) -> int:
@@ -228,6 +232,7 @@ class EvalHarness:
                     fixes=fixes,
                     seeds=seeds,
                     cycles=cycles,
+                    checker_backend=config.checker_backend,
                 )
             )
             responses_per_case.append(responses)

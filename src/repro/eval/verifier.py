@@ -21,12 +21,15 @@ from typing import Optional, Sequence
 from repro.eval.cache import VerdictCache, verdict_key
 from repro.hdl.lint import compile_source
 from repro.hdl.source import SourceFile, lines_equivalent
+from repro.sim.compile import CompileError
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stimulus import StimulusGenerator
-from repro.sva.checker import check_assertions
+from repro.sva.checker import CheckerBackend
 
 #: Bumped whenever verdict semantics change: keys old cache entries out.
-VERIFIER_VERSION = "repro_eval_verifier/v1"
+#: v2: ``$past`` depth arguments are constant-folded with parameters and
+#: pre-trace ``$past`` unknowns carry the argument expression's real width.
+VERIFIER_VERSION = "repro_eval_verifier/v2"
 
 #: Default number of independent stimulus seeds a fix must survive.
 DEFAULT_SEED_COUNT = 2
@@ -110,10 +113,13 @@ class RepairVerdict:
 
 @dataclass(frozen=True)
 class VerifierConfig:
-    """Stimulus sizing for verification runs."""
+    """Stimulus sizing and backend selection for verification runs."""
 
     cycles: int = 48
     reset_cycles: int = 2
+    #: Assertion-checker backend: "auto" (compiled with tree-walking
+    #: fallback), "compiled" or "interp" (the differential oracle).
+    checker_backend: str = "auto"
 
 
 class SemanticVerifier:
@@ -184,7 +190,13 @@ class SemanticVerifier:
             return RepairVerdict(
                 status="not_applicable", seeds=seeds, cycles=cycles, detail=detail
             )
-        key = verdict_key(patched, seeds, cycles, self.config.reset_cycles, VERIFIER_VERSION)
+        # A forced backend gets its own cache keyspace: re-running with the
+        # "interp" differential oracle must actually re-check, not be served
+        # a compiled run's cached verdicts (which would mask any divergence).
+        version = VERIFIER_VERSION
+        if self.config.checker_backend != "auto":
+            version = f"{VERIFIER_VERSION}+{self.config.checker_backend}"
+        key = verdict_key(patched, seeds, cycles, self.config.reset_cycles, version)
         verdict = self._memo.get(key)
         if verdict is None and self.cache is not None:
             stored = self.cache.get(key)
@@ -214,6 +226,15 @@ class SemanticVerifier:
                 status="compile_fail", seeds=seeds, cycles=cycles, detail=first_error
             )
         design = result.design
+        # Lowered once per patched design, shared by every stimulus seed.
+        try:
+            checker = CheckerBackend(design, backend=self.config.checker_backend)
+        except CompileError:
+            # Only the strict "compiled" backend can raise (an assertion the
+            # lowering rejects).  Verification must yield a verdict, not an
+            # exception that aborts a whole eval run, and "auto" is
+            # outcome-identical, so degrade to the per-assertion fallback.
+            checker = CheckerBackend(design, backend="auto")
         exercised = False
         for seed in seeds:
             stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(
@@ -226,7 +247,7 @@ class SemanticVerifier:
                     status="sim_error", seeds=seeds, cycles=cycles,
                     failing_seed=seed, detail=str(exc),
                 )
-            report = check_assertions(design, trace)
+            report = checker.check(trace)
             exercised = exercised or any(
                 outcome.antecedent_matches > 0 for outcome in report.outcomes.values()
             )

@@ -222,21 +222,32 @@ class RepairPolicy:
 
         Because the policy factorises into two small softmaxes, the joint
         distribution can be enumerated exactly -- no sampling noise, which is
-        what makes ranked pass@k on the benchmark deterministic.  Ties are
-        broken by line number then rewrite text, so the order is stable
-        across processes and platforms.
+        what makes ranked pass@k on the benchmark deterministic.  Exact
+        probability ties (adjacent lines with identical feature rows are
+        common in generated RTL) are broken *toward lines whose assigned
+        signal appears in the failing assertion* -- the line a verification
+        engineer would read first -- then by line number and rewrite text,
+        so the order is stable across processes and platforms.
         """
         line_numbers, line_probabilities = self.line_distribution(case, temperature)
-        scored: list[tuple[float, int, str, FixCandidate]] = []
+        assigned_by_line = case.assigned_by_line
+        asserted = case.asserted_signals
+        scored: list[tuple[float, int, int, str, FixCandidate]] = []
         for line_index, line_number in enumerate(line_numbers):
+            # 0 sorts first: the line drives a signal the failing assertion samples.
+            assigns_failing = 0 if asserted.intersection(
+                assigned_by_line.get(line_number, ())
+            ) else 1
             candidates, fix_probabilities = self.fix_distribution(case, line_number, temperature)
             for fix_index, candidate in enumerate(candidates):
                 joint = float(line_probabilities[line_index] * fix_probabilities[fix_index])
-                scored.append((joint, line_number, candidate.fixed_line, candidate))
-        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+                scored.append(
+                    (joint, assigns_failing, line_number, candidate.fixed_line, candidate)
+                )
+        scored.sort(key=lambda item: (-item[0], item[1], item[2], item[3]))
         top: list[tuple[int, FixCandidate, float]] = []
         seen: set[str] = set()
-        for joint, line_number, fixed_line, candidate in scored:
+        for joint, _assigns_failing, line_number, fixed_line, candidate in scored:
             key = candidate_key(line_number, fixed_line)
             if key in seen:
                 continue

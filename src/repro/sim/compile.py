@@ -464,8 +464,15 @@ class _ExprCompiler:
 
             return clog2
         # Sampled-value functions ($past, $rose, ...) only appear inside
-        # assertions, which the simulator never executes.
+        # assertions, which the simulator never executes; the SVA checker
+        # backend subclasses this compiler and lowers them to per-cycle
+        # series (repro.sva.compile) before falling through to here.
         raise CompileError(f"unsupported system function '{name}'")
+
+
+#: Public name of the expression lowering, the extension point the compiled
+#: SVA checker (:mod:`repro.sva.compile`) builds on.
+ExprCompiler = _ExprCompiler
 
 
 # --------------------------------------------------------------------------- #

@@ -5,7 +5,12 @@ everything that happens *after* parsing:
 
 * :mod:`repro.sva.checker` -- evaluate concurrent assertions over simulation
   traces (preponed sampling, ``disable iff``, ``##N`` delays, ``|->``/``|=>``,
-  sampled-value functions).
+  sampled-value functions).  The tree-walking :class:`AssertionChecker` is
+  the reference backend / differential oracle; the :func:`CheckerBackend`
+  factory dispatches to the compiled backend by default.
+* :mod:`repro.sva.compile` -- the compiled checking backend: assertions
+  lowered once per design into closures over flat per-cycle arrays, with
+  precomputed sampled-value series and a disable-iff prefix mask.
 * :mod:`repro.sva.logs` -- format assertion-failure logs in the style the
   paper's dataset records ("failed assertion <module>.<name>").
 * :mod:`repro.sva.generator` -- mine candidate assertions from a golden
@@ -17,8 +22,11 @@ from repro.sva.checker import (
     AssertionChecker,
     AssertionFailure,
     AssertionOutcome,
+    CheckerBackend,
     CheckReport,
     check_assertions,
+    infer_expression_width,
+    sampled_past_depth,
 )
 from repro.sva.logs import format_failure_log, parse_failure_log
 from repro.sva.generator import AssertionMiner, MinedAssertion, mine_assertions
@@ -27,8 +35,11 @@ __all__ = [
     "AssertionChecker",
     "AssertionFailure",
     "AssertionOutcome",
+    "CheckerBackend",
     "CheckReport",
     "check_assertions",
+    "infer_expression_width",
+    "sampled_past_depth",
     "format_failure_log",
     "parse_failure_log",
     "AssertionMiner",

@@ -17,18 +17,110 @@ use):
 * sampled-value functions ``$past`` (with optional depth), ``$rose``,
   ``$fell``, ``$stable``, ``$changed``;
 * attempts that run past the end of the trace are *pending*, not failures.
+
+Two checker backends implement these semantics:
+
+* :class:`AssertionChecker` (this module) -- the tree-walking reference
+  implementation, kept as the differential-testing oracle;
+* :class:`repro.sva.compile.CompiledAssertionChecker` -- lowers every
+  assertion once per design into closures over flat per-cycle arrays,
+  the way :mod:`repro.sim.compile` lowers designs.
+
+Use the :func:`CheckerBackend` factory (or :func:`check_assertions`, which
+also caches the lowered checker on the design) unless you need a specific
+backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.hdl import ast
 from repro.hdl.elaborate import AssertionSpec, ElaboratedDesign
 from repro.sim.evaluator import EvalError, Evaluator
 from repro.sim.trace import Trace
 from repro.sim.values import LogicValue
+
+#: The sampled-value system functions the boolean layer resolves over traces.
+SAMPLED_VALUE_FUNCTIONS = ("$past", "$rose", "$fell", "$stable", "$changed")
+
+
+def sampled_past_depth(call: ast.SystemCall, parameters: Mapping[str, int]) -> int:
+    """The cycle depth of a ``$past`` call, constant-folded with parameters.
+
+    ``$past(x, DEPTH)`` must honour elaboration-time constants such as
+    parameters and constant arithmetic (``WIDTH - 1``), not only literal
+    numbers.  Unevaluable or unknown depths fall back to the SVA default of 1.
+    """
+    if len(call.args) < 2:
+        return 1
+    try:
+        value = Evaluator({}, parameters).evaluate(call.args[1])
+    except EvalError:
+        return 1
+    if value.has_unknown:
+        return 1
+    return max(1, value.to_int())
+
+
+def infer_expression_width(expr: ast.Expression, design: ElaboratedDesign) -> int:
+    """The bit width ``expr`` would evaluate to (mirrors the evaluator).
+
+    This drives the width of the pre-cycle-0 unknown that ``$past`` returns:
+    ``$past(a + b)`` before the trace starts must be an all-x value of the
+    *expression's* width, not a 1-bit x.  Both checker backends share this
+    inference so they stay outcome-identical.
+    """
+    parameters = design.parameters
+
+    def constant(e: ast.Expression) -> Optional[int]:
+        try:
+            value = Evaluator({}, parameters).evaluate(e)
+        except EvalError:
+            return None
+        return None if value.has_unknown else value.to_int()
+
+    def width(e: ast.Expression) -> int:
+        if isinstance(e, ast.Number):
+            return e.width if e.width is not None else 32
+        if isinstance(e, ast.Identifier):
+            signal = design.signals.get(e.name)
+            if signal is not None:
+                return signal.width
+            return 32 if e.name in parameters else 1
+        if isinstance(e, ast.Unary):
+            return width(e.operand) if e.op in ("+", "-", "~") else 1
+        if isinstance(e, ast.Binary):
+            op = e.op
+            if op in ("&&", "||", "==", "!=", "===", "!==", "<", ">", "<=", ">="):
+                return 1
+            if op in ("<<", ">>", "<<<", ">>>"):
+                return width(e.left)
+            return max(width(e.left), width(e.right))
+        if isinstance(e, ast.Ternary):
+            return max(width(e.if_true), width(e.if_false))
+        if isinstance(e, ast.BitSelect):
+            return 1
+        if isinstance(e, ast.PartSelect):
+            msb, lsb = constant(e.msb), constant(e.lsb)
+            if msb is not None and lsb is not None and msb >= lsb:
+                return msb - lsb + 1
+            return max(width(e.base), 1)
+        if isinstance(e, ast.Concat):
+            return max(sum(width(part) for part in e.parts), 1)
+        if isinstance(e, ast.Replicate):
+            count = constant(e.count)
+            return max((count if count and count > 0 else 1) * width(e.value), 1)
+        if isinstance(e, ast.SystemCall):
+            if e.name in ("$past", "$signed", "$unsigned"):
+                return width(e.args[0]) if e.args else 1
+            if e.name in ("$countones", "$clog2"):
+                return 32
+            return 1  # $rose/$fell/$stable/$changed/$onehot*/unknown
+        return 1
+
+    return width(expr)
 
 
 @dataclass(frozen=True)
@@ -71,6 +163,22 @@ class AssertionOutcome:
         """True when the assertion held and was exercised at least once."""
         return not self.failed and self.antecedent_matches > 0
 
+    def comparison_key(self) -> tuple:
+        """Every outcome field as one tuple, for backend-differential checks."""
+        return (
+            self.name,
+            self.attempts,
+            self.antecedent_matches,
+            self.passes,
+            self.vacuous,
+            self.pending,
+            self.disabled,
+            tuple(
+                (f.assertion, f.start_cycle, f.fail_cycle, f.message)
+                for f in self.failures
+            ),
+        )
+
 
 @dataclass
 class CheckReport:
@@ -106,6 +214,11 @@ class AssertionChecker:
 
     def __init__(self, design: ElaboratedDesign):
         self._design = design
+        # $past depths are elaboration-time constants; memoised per call
+        # node so the per-cycle sampled-value path does not rebuild an
+        # Evaluator for the same depth expression.  The node itself is kept
+        # in the value, so its id can never be recycled while memoised.
+        self._past_depth_memo: dict[int, tuple[ast.SystemCall, int]] = {}
 
     def check(self, trace: Trace, assertions: Optional[list[AssertionSpec]] = None) -> CheckReport:
         """Check (a subset of) the design's assertions over ``trace``."""
@@ -248,7 +361,7 @@ class AssertionChecker:
 
         def value_at(target_cycle: int) -> LogicValue:
             if target_cycle < 0:
-                width = self._expression_width(argument)
+                width = infer_expression_width(argument, self._design)
                 return LogicValue.unknown(width)
             environment = trace[target_cycle].pre_edge
             evaluator = Evaluator(
@@ -262,10 +375,11 @@ class AssertionChecker:
                 return LogicValue.unknown(1)
 
         if name == "$past":
-            depth = 1
-            if len(call.args) > 1 and isinstance(call.args[1], ast.Number):
-                depth = max(1, call.args[1].value)
-            return value_at(cycle - depth)
+            memoised = self._past_depth_memo.get(id(call))
+            if memoised is None:
+                memoised = (call, sampled_past_depth(call, self._design.parameters))
+                self._past_depth_memo[id(call)] = memoised
+            return value_at(cycle - memoised[1])
         current = value_at(cycle)
         previous = value_at(cycle - 1)
         if name == "$rose":
@@ -288,14 +402,48 @@ class AssertionChecker:
             return LogicValue.from_int(int(current.to_int() != previous.to_int()), 1)
         return LogicValue.unknown(1)
 
-    def _expression_width(self, expr: ast.Expression) -> int:
-        if isinstance(expr, ast.Identifier):
-            signal = self._design.signals.get(expr.name)
-            if signal is not None:
-                return signal.width
-        return 1
+def CheckerBackend(design: ElaboratedDesign, backend: str = "auto"):
+    """Build an assertion checker for ``design``, mirroring :func:`Simulator`.
+
+    ``"auto"`` (the default) lowers every assertion with the compiled backend
+    (:mod:`repro.sva.compile`); assertions using constructs the lowering does
+    not support transparently fall back to the tree-walking evaluation, so
+    the auto backend never fails to construct.  ``"compiled"`` additionally
+    raises :class:`repro.sim.compile.CompileError` when any assertion could
+    not be lowered; ``"interp"`` forces the tree-walking oracle.
+
+    Both backends expose the same ``check(trace, assertions=None)`` API and
+    produce outcome-identical :class:`CheckReport` objects.
+    """
+    if backend not in ("auto", "compiled", "interp"):
+        raise ValueError(
+            f"unknown checker backend '{backend}' (expected 'auto', 'compiled' or 'interp')"
+        )
+    if backend == "interp":
+        return AssertionChecker(design)
+    # Imported lazily: repro.sva.compile imports from this module.
+    from repro.sva.compile import CompiledAssertionChecker
+
+    return CompiledAssertionChecker(design, strict=backend == "compiled")
 
 
-def check_assertions(design: ElaboratedDesign, trace: Trace) -> CheckReport:
-    """Convenience wrapper: check all assertions of ``design`` over ``trace``."""
-    return AssertionChecker(design).check(trace)
+def check_assertions(
+    design: ElaboratedDesign, trace: Trace, backend: str = "auto"
+) -> CheckReport:
+    """Check all assertions of ``design`` over ``trace``.
+
+    The checker instance is cached on the design object (at most one per
+    backend name), so callers that check the same design object on several
+    traces pay the one-off assertion lowering once.  Single-check callers
+    like Stage 2 -- which compiles a fresh design per mutant -- only pay
+    the lowering itself; long-lived multi-trace consumers such as
+    :class:`repro.eval.verifier.SemanticVerifier` hold a
+    :func:`CheckerBackend` instance directly instead of going through this
+    helper.
+    """
+    cache = design.__dict__.setdefault("_checker_backend_cache", {})
+    checker = cache.get(backend)
+    if checker is None:
+        checker = CheckerBackend(design, backend=backend)
+        cache[backend] = checker
+    return checker.check(trace)

@@ -1,0 +1,428 @@
+"""The compiled SVA checking backend.
+
+The tree-walking :class:`~repro.sva.checker.AssertionChecker` rebuilds an
+:class:`~repro.sim.evaluator.Evaluator` for every boolean sub-expression, of
+every cycle, of every attempt, of every assertion.  With the simulator
+compiled (:mod:`repro.sim.compile`) and verification fanning out per
+candidate, that re-evaluation is the hot path of the whole repair loop.
+
+This backend applies the same lowering recipe to assertions:
+
+* every boolean-layer expression is compiled **once per design** into a
+  closure over flat per-cycle integer arrays, reusing the simulator's
+  expression lowering (:class:`~repro.sim.compile.ExprCompiler`);
+* sampled-value functions (``$past``/``$rose``/``$fell``/``$stable``/
+  ``$changed``) are lowered to **precomputed per-cycle series**: the
+  argument is evaluated once per cycle, not twice per attempt per cycle;
+* ``disable iff`` becomes a prefix-count mask, so the "was the attempt
+  disabled anywhere in [start, end]" question is O(1) instead of the
+  tree-walker's O(attempt-span) rescan per attempt;
+* attempt evaluation **shares the per-cycle boolean results across all
+  start cycles**: each element expression is evaluated exactly once per
+  cycle, and the per-attempt walk is pure list indexing.
+
+The backend is outcome-identical to the tree-walker by construction plus
+differential testing (`tests/test_sva_compile`): attempts, antecedent
+matches, passes, vacuous/pending/disabled counts and every failure's start
+and failing cycle agree.  Assertions using constructs the expression
+lowering rejects fall back, per assertion, to the tree-walking oracle; a
+trace that lacks a referenced signal falls back for the whole call.  Use
+the :func:`~repro.sva.checker.CheckerBackend` factory to construct one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.hdl import ast
+from repro.hdl.elaborate import AssertionSpec, ElaboratedDesign
+from repro.sim.compile import CompileError, ExprCompiler
+from repro.sim.engine import SimulationError
+from repro.sim.trace import Trace
+from repro.sva.checker import (
+    SAMPLED_VALUE_FUNCTIONS,
+    AssertionChecker,
+    AssertionFailure,
+    AssertionOutcome,
+    CheckReport,
+    infer_expression_width,
+    sampled_past_depth,
+)
+
+#: A value triple on the compiled path: (value, xmask, width).
+ValueTriple = tuple[int, int, int]
+
+#: One fully-unknown bit, the tree-walker's "evaluation failed" sentinel.
+_UNKNOWN_BIT: ValueTriple = (0, 1, 1)
+
+
+class _SampledRegistry:
+    """Per-assertion registry of precomputed sampled-value series.
+
+    A sampled call compiles to a closure that reads ``series[index]`` at the
+    cycle held in ``cycle_cell``; the series themselves are (re)built once
+    per trace by :meth:`fill`.  Builders are appended in dependency order --
+    a nested sampled call is compiled (and therefore registered) before the
+    call containing it -- so filling in registration order always finds the
+    series a builder reads already computed.
+    """
+
+    def __init__(self) -> None:
+        self.cycle_cell: list[int] = [0]
+        self.builders: list[Callable[[list, list, int], list[ValueTriple]]] = []
+        self.series: list[list[ValueTriple]] = []
+
+    def fill(self, rows_v: list, rows_x: list, n: int) -> None:
+        for index, build in enumerate(self.builders):
+            self.series[index] = build(rows_v, rows_x, n)
+
+    def release(self) -> None:
+        """Drop the per-trace series (mutating in place: closures hold the list)."""
+        for index in range(len(self.series)):
+            self.series[index] = []
+
+    def lower(self, call: ast.SystemCall, compiler: "_SvaExprCompiler",
+              design: ElaboratedDesign) -> Callable:
+        name = call.name
+        if not call.args:
+            # Mirrors the tree-walker's missing-argument guard: unknown(1).
+            return lambda val, xm: _UNKNOWN_BIT
+        argument = call.args[0]
+        arg_fn = compiler.compile(argument)
+        arg_width = infer_expression_width(argument, design)
+        unknown_arg: ValueTriple = (0, (1 << arg_width) - 1, arg_width)
+        cell = self.cycle_cell
+
+        def eval_arg(rows_v: list, rows_x: list, t: int) -> ValueTriple:
+            """The argument sampled at cycle ``t`` (tree-walker's value_at)."""
+            if t < 0:
+                return unknown_arg
+            cell[0] = t
+            try:
+                return arg_fn(rows_v[t], rows_x[t])
+            except SimulationError:
+                return _UNKNOWN_BIT
+
+        if name == "$past":
+            depth = sampled_past_depth(call, design.parameters)
+
+            def build(rows_v: list, rows_x: list, n: int) -> list[ValueTriple]:
+                return [eval_arg(rows_v, rows_x, c - depth) for c in range(n)]
+
+        else:
+            # $rose/$fell compare bit 0; $stable/$changed compare the value.
+            def build(rows_v: list, rows_x: list, n: int, name=name) -> list[ValueTriple]:
+                current = [eval_arg(rows_v, rows_x, c) for c in range(n)]
+                out: list[ValueTriple] = []
+                previous = unknown_arg
+                for cur in current:
+                    if cur[1] or previous[1]:
+                        out.append(_UNKNOWN_BIT)
+                    elif name == "$rose":
+                        out.append((int((cur[0] & 1) == 1 and (previous[0] & 1) == 0), 0, 1))
+                    elif name == "$fell":
+                        out.append((int((cur[0] & 1) == 0 and (previous[0] & 1) == 1), 0, 1))
+                    elif name == "$stable":
+                        out.append((int(cur[0] == previous[0]), 0, 1))
+                    else:  # $changed
+                        out.append((int(cur[0] != previous[0]), 0, 1))
+                    previous = cur
+                return out
+
+        index = len(self.builders)
+        self.builders.append(build)
+        self.series.append([])
+        series = self.series
+        return lambda val, xm, index=index, series=series, cell=cell: series[index][cell[0]]
+
+
+class _SvaExprCompiler(ExprCompiler):
+    """The simulator's expression lowering, extended with sampled values.
+
+    Everything else -- operators, selects, concats, the synthesisable system
+    functions -- is inherited unchanged, which is what keeps the two checker
+    backends' boolean layers behaviourally identical for free (the simulator
+    differential suite already pins the lowering against the evaluator).
+    """
+
+    def __init__(self, design: ElaboratedDesign, slots: dict[str, int],
+                 registry: _SampledRegistry):
+        super().__init__(design, slots)
+        self._registry = registry
+
+    def _compile_system_call(self, expr: ast.SystemCall):
+        if expr.name in SAMPLED_VALUE_FUNCTIONS:
+            return self._registry.lower(expr, self, self._design)
+        return super()._compile_system_call(expr)
+
+
+class _LoweredAssertion:
+    """One assertion lowered to element closures plus attempt-shape metadata."""
+
+    __slots__ = ("spec", "registry", "element_fns", "antecedent", "consequent",
+                 "disable_index", "overlapping")
+
+    def __init__(self, spec: AssertionSpec, registry: _SampledRegistry,
+                 element_fns: list, antecedent: Optional[list], consequent: list,
+                 disable_index: Optional[int]):
+        self.spec = spec
+        self.registry = registry
+        #: Compiled boolean-layer expressions, indexed by the pairs below.
+        self.element_fns = element_fns
+        #: [(cumulative delay offset, element index)] or None for no antecedent.
+        self.antecedent = antecedent
+        self.consequent = consequent
+        self.disable_index = disable_index
+        self.overlapping = spec.body.overlapping
+
+
+class CompiledAssertionChecker:
+    """Drop-in replacement for :class:`~repro.sva.checker.AssertionChecker`.
+
+    Lowers every assertion of ``design`` once at construction; each
+    :meth:`check` call then costs one expression evaluation per element per
+    cycle plus a pure-indexing attempt walk, independent of how many
+    attempts overlap each cycle.
+    """
+
+    def __init__(self, design: ElaboratedDesign, strict: bool = False):
+        self._design = design
+        self._oracle = AssertionChecker(design)
+        referenced: set[str] = set()
+        for spec in design.assertions:
+            referenced |= spec.identifiers()
+        self._names: list[str] = sorted(n for n in referenced if n in design.signals)
+        self._slots: dict[str, int] = {name: i for i, name in enumerate(self._names)}
+        self._lowered: dict[int, Optional[_LoweredAssertion]] = {}
+        failed: list[str] = []
+        for spec in design.assertions:
+            lowered = self._lower(spec)
+            self._lowered[id(spec)] = lowered
+            if lowered is None:
+                failed.append(spec.name)
+        if strict and failed:
+            raise CompileError(
+                "assertions cannot be lowered: " + ", ".join(sorted(failed))
+            )
+
+    @property
+    def design(self) -> ElaboratedDesign:
+        return self._design
+
+    # ------------------------------------------------------------------ #
+    # lowering
+    # ------------------------------------------------------------------ #
+
+    def _lower(self, spec: AssertionSpec) -> Optional[_LoweredAssertion]:
+        registry = _SampledRegistry()
+        compiler = _SvaExprCompiler(self._design, self._slots, registry)
+        element_fns: list = []
+
+        def lower_sequence(sequence: ast.SvaSequence) -> list[tuple[int, int]]:
+            items: list[tuple[int, int]] = []
+            offset = 0
+            for element in sequence.elements:
+                offset += element.delay
+                items.append((offset, len(element_fns)))
+                element_fns.append(compiler.compile(element.expr))
+            return items
+
+        try:
+            antecedent = (
+                lower_sequence(spec.body.antecedent)
+                if spec.body.antecedent is not None
+                else None
+            )
+            consequent = lower_sequence(spec.body.consequent)
+            disable_index = None
+            if spec.disable_iff is not None:
+                disable_index = len(element_fns)
+                element_fns.append(compiler.compile(spec.disable_iff))
+        except CompileError:
+            return None
+        return _LoweredAssertion(
+            spec, registry, element_fns, antecedent, consequent, disable_index
+        )
+
+    # ------------------------------------------------------------------ #
+    # checking
+    # ------------------------------------------------------------------ #
+
+    def check(self, trace: Trace, assertions: Optional[list[AssertionSpec]] = None) -> CheckReport:
+        """Check (a subset of) the design's assertions over ``trace``."""
+        report = CheckReport()
+        specs = assertions if assertions is not None else self._design.assertions
+        rows = self._trace_rows(trace)
+        if rows is None:
+            # A referenced signal is missing from the trace samples; the
+            # tree-walker's per-expression EvalError semantics apply.
+            return self._oracle.check(trace, assertions)
+        rows_v, rows_x = rows
+        n = len(trace)
+        for spec in specs:
+            lowered = self._lowered.get(id(spec))
+            if lowered is None:
+                if id(spec) not in self._lowered:
+                    # A spec object the design does not own (ad-hoc subset
+                    # checking): lower on the fly, without caching -- a dead
+                    # foreign spec's id could be recycled.
+                    lowered = self._lower(spec)
+                if lowered is None:
+                    report.outcomes[spec.name] = self._oracle._check_assertion(spec, trace)
+                    continue
+            report.outcomes[spec.name] = self._check_lowered(lowered, rows_v, rows_x, n)
+        return report
+
+    def _trace_rows(self, trace: Trace) -> Optional[tuple[list, list]]:
+        """The referenced signals' (value, xmask) columns, one row per cycle.
+
+        Consecutive cycles whose preponed sample dict is shared (a quiet
+        design under :class:`~repro.sim.trace.DiffTrace`) share the row
+        lists too, so quiet traces cost almost nothing to transpose.
+        """
+        names = self._names
+        rows_v: list[list[int]] = []
+        rows_x: list[list[int]] = []
+        prev_pre: Optional[dict] = None
+        row_v: list[int] = []
+        row_x: list[int] = []
+        for cycle in range(len(trace)):
+            pre = trace[cycle].pre_edge
+            if pre is not prev_pre:
+                try:
+                    values = [pre[name] for name in names]
+                except KeyError:
+                    return None
+                row_v = [v.value for v in values]
+                row_x = [v.xmask for v in values]
+                prev_pre = pre
+            rows_v.append(row_v)
+            rows_x.append(row_x)
+        return rows_v, rows_x
+
+    def _check_lowered(
+        self, lowered: _LoweredAssertion, rows_v: list, rows_x: list, n: int
+    ) -> AssertionOutcome:
+        spec = lowered.spec
+        outcome = AssertionOutcome(name=spec.name)
+        try:
+            return self._evaluate_lowered(lowered, outcome, rows_v, rows_x, n)
+        finally:
+            # A long-lived checker (cached on the design) must not retain the
+            # last trace's sampled-value series between checks.
+            lowered.registry.release()
+
+    def _evaluate_lowered(
+        self, lowered: _LoweredAssertion, outcome: AssertionOutcome,
+        rows_v: list, rows_x: list, n: int
+    ) -> AssertionOutcome:
+        spec = lowered.spec
+        lowered.registry.fill(rows_v, rows_x, n)
+        cell = lowered.registry.cycle_cell
+
+        # One evaluation per element expression per cycle, shared by every
+        # attempt: True / False / None (unknown or evaluation error).
+        series: list[list[Optional[bool]]] = []
+        for fn in lowered.element_fns:
+            column: list[Optional[bool]] = []
+            for c in range(n):
+                cell[0] = c
+                try:
+                    v, x, _w = fn(rows_v[c], rows_x[c])
+                except SimulationError:
+                    column.append(None)
+                    continue
+                column.append(True if v != 0 else (None if x else False))
+            series.append(column)
+
+        # disable iff: a prefix count makes "disabled anywhere in
+        # [start, end]" one subtraction instead of a rescan per attempt.
+        disabled: Optional[list[bool]] = None
+        prefix: Optional[list[int]] = None
+        if lowered.disable_index is not None:
+            disable_column = series[lowered.disable_index]
+            disabled = [value is True for value in disable_column]
+            prefix = [0] * (n + 1)
+            running = 0
+            for c in range(n):
+                if disabled[c]:
+                    running += 1
+                prefix[c + 1] = running
+
+        antecedent = lowered.antecedent
+        consequent = lowered.consequent
+        overlapping = lowered.overlapping
+        message = spec.error_message
+        failures = outcome.failures
+        last = n - 1
+
+        for start in range(n):
+            outcome.attempts += 1
+            if disabled is not None and disabled[start]:
+                outcome.disabled += 1
+                continue
+
+            if antecedent is not None:
+                cycle = start
+                pending = False
+                matched = True
+                for offset, index in antecedent:
+                    cycle = start + offset
+                    if cycle >= n:
+                        pending = True
+                        break
+                    if series[index][cycle] is not True:
+                        matched = False
+                        break
+                if pending:
+                    outcome.pending += 1
+                    continue
+                if not matched:
+                    outcome.vacuous += 1
+                    continue
+                outcome.antecedent_matches += 1
+                consequent_start = cycle if overlapping else cycle + 1
+            else:
+                outcome.antecedent_matches += 1
+                consequent_start = start
+
+            if prefix is not None:
+                end = consequent_start if consequent_start < last else last
+                if prefix[end + 1] - prefix[start]:
+                    outcome.disabled += 1
+                    continue
+
+            pending = False
+            fail_cycle = -1
+            for offset, index in consequent:
+                cycle = consequent_start + offset
+                if cycle >= n:
+                    pending = True
+                    break
+                if series[index][cycle] is False:
+                    fail_cycle = cycle
+                    break
+            if pending:
+                outcome.pending += 1
+            elif fail_cycle < 0:
+                outcome.passes += 1
+            else:
+                if prefix is not None:
+                    end = fail_cycle if fail_cycle < last else last
+                    if prefix[end + 1] - prefix[start]:
+                        outcome.disabled += 1
+                        continue
+                failures.append(
+                    AssertionFailure(
+                        assertion=spec.name,
+                        start_cycle=start,
+                        fail_cycle=fail_cycle,
+                        message=message,
+                    )
+                )
+        return outcome
+
+
+def compile_assertions(design: ElaboratedDesign, strict: bool = False) -> CompiledAssertionChecker:
+    """Lower ``design``'s assertions for the compiled checker backend."""
+    return CompiledAssertionChecker(design, strict=strict)

@@ -39,6 +39,34 @@ class MinedAssertion:
         return "\n".join(lines)
 
 
+def template_assertion_blocks(blocks: list[str], family: str = "") -> list[MinedAssertion]:
+    """Wrap hand-written template SVA blocks in :class:`MinedAssertion` records.
+
+    The last line of a multi-line block is its ``assert`` statement; a
+    single-line block is a self-contained property.  Shared by Stage 2, the
+    SVA benchmark and the checker differential tests so the wrapping recipe
+    exists exactly once.
+    """
+    wrapped: list[MinedAssertion] = []
+    for index, block in enumerate(blocks):
+        lines = block.splitlines()
+        property_text = "\n".join(lines[:-1]) if len(lines) > 1 else block
+        assert_text = lines[-1] if len(lines) > 1 else ""
+        description = f"template assertion {index}"
+        if family:
+            description += f" of family {family}"
+        wrapped.append(
+            MinedAssertion(
+                name=f"template_{index}",
+                property_text=property_text,
+                assert_text=assert_text,
+                description=description,
+                kind="template",
+            )
+        )
+    return wrapped
+
+
 def insert_assertions(source: str, assertions: list[MinedAssertion]) -> str:
     """Insert mined assertions into ``source`` just before ``endmodule``."""
     if not assertions:

@@ -176,6 +176,35 @@ def test_harness_is_cache_state_invariant(datasets, sft_model, tmp_path):
     assert warm.cache_misses == 0 and warm.cache_hits == cold.cache_misses
 
 
+def test_harness_is_checker_backend_invariant(datasets, sft_model):
+    """The checker backend reaches the verification workers and cannot
+    change any outcome -- forcing the tree-walking oracle through the full
+    harness path must reproduce the compiled run byte for byte."""
+    compiled = EvalHarness(eval_config()).run(sft_model, datasets.sva_eval_machine)
+    oracle = EvalHarness(eval_config(checker_backend="interp", workers=2)).run(
+        sft_model, datasets.sva_eval_machine
+    )
+    assert compiled.summary() == oracle.summary()
+    assert [case.to_dict() for case in compiled.cases] == [
+        case.to_dict() for case in oracle.cases
+    ]
+
+
+def test_forced_oracle_backend_does_not_reuse_compiled_cache(datasets, sft_model, tmp_path):
+    """A differential re-run with the tree-walking oracle must re-verify:
+    serving it the compiled run's cached verdicts would mask divergences."""
+    cache_dir = tmp_path / "verdicts"
+    compiled = EvalHarness(eval_config(cache_dir=cache_dir)).run(
+        sft_model, datasets.sva_eval_machine
+    )
+    oracle = EvalHarness(eval_config(cache_dir=cache_dir, checker_backend="interp")).run(
+        sft_model, datasets.sva_eval_machine
+    )
+    assert compiled.cache_misses > 0
+    assert oracle.cache_misses == compiled.cache_misses  # nothing served cross-backend
+    assert compiled.summary() == oracle.summary()
+
+
 def test_harness_is_entry_order_invariant(datasets, sft_model):
     forward = EvalHarness(eval_config()).run(sft_model, datasets.sva_eval_machine)
     backward = EvalHarness(eval_config()).run(

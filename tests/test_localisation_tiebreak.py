@@ -1,0 +1,76 @@
+"""Regression: deterministic localisation tie-breaking in the repair policy.
+
+An untrained (zero-weight) policy scores every candidate line identically,
+so ranked repair used to degenerate to "lowest line number first" -- which
+is why ranked pass@1 on SVA-Eval-Machine sat at ~0.  Exact probability ties
+must now break toward lines whose assigned signal appears in the failing
+assertion before falling back to line order.
+"""
+
+import math
+
+from repro.model.case import RepairCase
+from repro.model.policy import RepairPolicy
+
+SOURCE = """\
+module twolines (
+    input wire clk,
+    input wire rst_n,
+    input wire [3:0] in_a,
+    input wire [3:0] in_b,
+    output reg [3:0] out_a,
+    output reg [3:0] out_b
+);
+    always @(posedge clk) begin
+        out_a <= in_a;
+        out_b <= in_b;
+    end
+    property p_b;
+        @(posedge clk) disable iff (!rst_n) 1'b1 |=> out_b == $past(in_b);
+    endproperty
+    a_b: assert property (p_b);
+endmodule
+"""
+
+LOGS = "failed assertion twolines.a_b at cycle 3\n"
+
+
+def make_case():
+    return RepairCase(name="twolines_case", spec="two registered outputs", buggy_source=SOURCE, logs=LOGS)
+
+
+def test_ties_break_toward_lines_assigning_failing_signal():
+    case = make_case()
+    assert case.design is not None
+    # Only a_b fails, so out_b's driver (line 11) is the suspect; out_a's
+    # textually earlier driver (line 10) would win a pure line-number tie.
+    policy = RepairPolicy()
+    ranked = policy.top_candidates(case, k=50)
+    assert ranked, "policy produced no candidates"
+
+    def assigns_failing(line_number):
+        assigned = set(case.assigned_by_line.get(line_number, []))
+        return bool(assigned & case.asserted_signals)
+
+    # Global invariant: within every run of equal joint probability, all
+    # suspect-line candidates come before all non-suspect ones.
+    index = 0
+    while index < len(ranked):
+        run_end = index
+        while (
+            run_end + 1 < len(ranked)
+            and math.isclose(ranked[run_end + 1][2], ranked[index][2], rel_tol=0, abs_tol=0)
+        ):
+            run_end += 1
+        flags = [assigns_failing(line) for line, _, _ in ranked[index : run_end + 1]]
+        assert flags == sorted(flags, reverse=True), (
+            f"tie run {index}..{run_end} orders non-suspect lines first: {flags}"
+        )
+        index = run_end + 1
+
+    # And concretely: the very first candidate targets the suspect line.
+    first_line, _, _ = ranked[0]
+    assert assigns_failing(first_line), (
+        f"top candidate targets line {first_line}, which does not assign a "
+        "signal sampled by the failing assertion"
+    )
