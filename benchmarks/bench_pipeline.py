@@ -1,0 +1,127 @@
+"""End-to-end data-augmentation pipeline benchmark.
+
+Runs the full pipeline (corpus -> Stage 1 -> Stage 2 -> split -> Stage 3)
+serially and with a worker fan-out, records the per-stage wall-clock
+breakdown of both runs, verifies the outputs are byte-identical (the
+``repro.runtime`` determinism contract), and writes ``BENCH_pipeline.json``
+so successive PRs can track the trajectory next to the other BENCH files.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py \
+        [--design-count N] [--workers W] [--seed S] [--output PATH]
+
+Schema of the output (``bench_pipeline/v1``)::
+
+    {
+      "schema": "bench_pipeline/v1",
+      "design_count": <int>,
+      "seed": <int>,
+      "workers": <int>,                       # fan-out size of the parallel run
+      "serial":   {"total_s": <float>, "stages": {"corpus": <float>,
+                   "stage1": <float>, "stage2": <float>,
+                   "split": <float>, "stage3": <float>}},
+      "parallel": {"total_s": <float>, "stages": {...}},
+      "speedup": <float>,                     # serial / parallel wall clock
+      "identical_output": true,               # determinism guard (hard fail if not)
+      "entries": {"verilog_pt": <int>, "verilog_bug": <int>,
+                  "sva_bug_train": <int>, "sva_eval_machine": <int>}
+    }
+
+Single-core hosts still produce the file (the parallel leg then mostly
+measures pool overhead); the per-stage breakdown is the useful signal there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dataaug.pipeline import DataAugmentationPipeline, PipelineConfig  # noqa: E402
+
+
+def dataset_bytes(datasets) -> str:
+    """Canonical byte-level snapshot of all four splits + statistics."""
+    return json.dumps(
+        {
+            "verilog_pt": [vars(entry) for entry in datasets.verilog_pt],
+            "verilog_bug": [entry.to_dict() for entry in datasets.verilog_bug],
+            "sva_bug_train": [entry.to_dict() for entry in datasets.sva_bug_train],
+            "sva_eval_machine": [entry.to_dict() for entry in datasets.sva_eval_machine],
+            "statistics": vars(datasets.statistics),
+        },
+        sort_keys=True,
+    )
+
+
+def run_once(seed: int, design_count: int, workers: int) -> tuple[dict, object]:
+    config = PipelineConfig.default(seed=seed, design_count=design_count, workers=workers)
+    pipeline = DataAugmentationPipeline(config)
+    started = time.perf_counter()
+    datasets = pipeline.run()
+    total = time.perf_counter() - started
+    leg = {
+        "total_s": round(total, 3),
+        "stages": {label: round(value, 3) for label, value in pipeline.stage_timings.items()},
+    }
+    return leg, datasets
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--design-count", type=int, default=24, help="corpus size")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--workers", type=int, default=2, help="fan-out of the parallel leg")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_pipeline.json",
+    )
+    args = parser.parse_args()
+
+    serial, serial_datasets = run_once(args.seed, args.design_count, workers=1)
+    parallel, parallel_datasets = run_once(args.seed, args.design_count, workers=args.workers)
+
+    identical = dataset_bytes(serial_datasets) == dataset_bytes(parallel_datasets)
+    if not identical:
+        print("FAIL: worker fan-out changed the datasets (determinism contract broken)")
+        return 1
+
+    statistics = serial_datasets.statistics
+    report = {
+        "schema": "bench_pipeline/v1",
+        "design_count": args.design_count,
+        "seed": args.seed,
+        "workers": args.workers,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(serial["total_s"] / max(parallel["total_s"], 1e-9), 2),
+        "identical_output": True,
+        "entries": {
+            "verilog_pt": statistics.verilog_pt_entries,
+            "verilog_bug": statistics.verilog_bug_entries,
+            "sva_bug_train": len(serial_datasets.sva_bug_train),
+            "sva_eval_machine": len(serial_datasets.sva_eval_machine),
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for label, leg in (("serial", serial), (f"{args.workers} workers", parallel)):
+        stages = "  ".join(f"{k}={v:.2f}s" for k, v in leg["stages"].items())
+        print(f"{label:<10} total={leg['total_s']:.2f}s  {stages}")
+    print(
+        f"speedup {report['speedup']}x over {args.design_count} designs "
+        f"({report['entries']['sva_bug_train']} train / "
+        f"{report['entries']['sva_eval_machine']} eval entries); outputs identical"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

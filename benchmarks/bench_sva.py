@@ -16,10 +16,10 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_sva.py [--cycles N] [--output PATH]
 
-Schema of the output (``bench_sva/v1``)::
+Schema of the output (``bench_sva/v2``)::
 
     {
-      "schema": "bench_sva/v1",
+      "schema": "bench_sva/v2",
       "cycles_per_family": <int>,            # trace length per microbench
       "timing_repeats": <int>,               # best-of-N wall-clock policy
       "microbenchmarks": {
@@ -29,18 +29,31 @@ Schema of the output (``bench_sva/v1``)::
           "interp_checks_per_s": <float>,    # tree-walking full-trace checks/s
           "compiled_checks_per_s": <float>,
           "lower_ms": <float>,               # one-off assertion lowering cost
-          "speedup": <float>
+          "speedup": <float>,
+          "batch_speedup": <float>           # check_batch vs per-trace check
         }, ...
       },
       "geomean_speedup": <float>,
       "min_speedup": <float>,
+      "batch": {                             # multi-trace single-pass leg
+        "traces": <int>,                     # seed-trace batch size (verifier shape)
+        "cycles": <int>,
+        "geomean_speedup": <float>
+      },
       "verifier": {                          # repro.eval end-to-end leg
         "cases": <int>,
         "interp_wall_s": <float>,
-        "compiled_wall_s": <float>,
+        "compiled_wall_s": <float>,          # runs the batched check_batch path
         "speedup": <float>
       }
     }
+
+v2 adds the batch leg: the verifier now pushes all of a candidate's
+seed traces through the lowered checker in one ``check_batch`` pass, and
+``batch_speedup`` records what that single pass buys over per-trace
+``check`` calls (the per-assertion dispatch is amortised; the per-cycle
+series evaluation is inherently per trace, so the delta is modest by
+design).
 """
 
 from __future__ import annotations
@@ -95,6 +108,12 @@ def augmented_source(family) -> str | None:
     return insert_assertions(artifact.source, candidates)
 
 
+#: The batch leg mirrors the verifier's workload shape: one candidate, a
+#: handful of fresh stimulus seeds, one lowered checker.
+BATCH_TRACES = 2
+BATCH_CYCLES = 96
+
+
 def bench_family(family, cycles: int, repeat: int) -> dict | None:
     source = augmented_source(family)
     if source is None:
@@ -118,11 +137,29 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
     lower_ms = (time.perf_counter() - start) * 1e3
     compiled_s = _best_of(repeat, lambda: compiled.check(trace))
 
-    # The benchmark doubles as a coarse differential guard.
+    # Multi-trace batch leg: all seed traces through one check_batch pass
+    # (what the verifier does per candidate) vs one check call per trace.
+    batch = [
+        Simulator(design).run(
+            StimulusGenerator(design, seed=100 + index)
+            .mixed_stimulus(random_cycles=BATCH_CYCLES)
+            .vectors
+        ).materialized()
+        for index in range(BATCH_TRACES)
+    ]
+    sequential_s = _best_of(repeat, lambda: [compiled.check(t) for t in batch])
+    batched_s = _best_of(repeat, lambda: compiled.check_batch(batch))
+
+    # The benchmark doubles as a coarse differential guard (including the
+    # batched pass against per-trace checking).
     left, right = interp.check(trace), compiled.check(trace)
     for name in left.outcomes:
         if left.outcomes[name].comparison_key() != right.outcomes[name].comparison_key():
             raise RuntimeError(f"{family.name}: backends disagree on assertion '{name}'")
+    for single, via_batch in zip([compiled.check(t) for t in batch], compiled.check_batch(batch)):
+        for name in single.outcomes:
+            if single.outcomes[name].comparison_key() != via_batch.outcomes[name].comparison_key():
+                raise RuntimeError(f"{family.name}: check_batch disagrees on assertion '{name}'")
 
     return {
         "assertions": len(design.assertions),
@@ -131,6 +168,7 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
         "compiled_checks_per_s": round(1.0 / compiled_s, 2),
         "lower_ms": round(lower_ms, 3),
         "speedup": round(interp_s / compiled_s, 2),
+        "batch_speedup": round(sequential_s / batched_s, 3),
     }
 
 
@@ -199,21 +237,29 @@ def main() -> int:
 
     speedups = [entry["speedup"] for entry in micro.values()]
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    batch_speedups = [entry["batch_speedup"] for entry in micro.values()]
+    batch_geomean = math.exp(sum(math.log(s) for s in batch_speedups) / len(batch_speedups))
 
     verifier = bench_verifier(min(args.cycles, 96), families[: args.verifier_cases])
     report = {
-        "schema": "bench_sva/v1",
+        "schema": "bench_sva/v2",
         "cycles_per_family": args.cycles,
         "timing_repeats": args.repeat,
         "microbenchmarks": micro,
         "geomean_speedup": round(geomean, 2),
         "min_speedup": round(min(speedups), 2),
+        "batch": {
+            "traces": BATCH_TRACES,
+            "cycles": BATCH_CYCLES,
+            "geomean_speedup": round(batch_geomean, 3),
+        },
         "verifier": verifier,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"\ngeomean checking speedup {report['geomean_speedup']}x "
-        f"(min {report['min_speedup']}x); verifier end-to-end "
+        f"(min {report['min_speedup']}x); batched seed-trace pass "
+        f"{report['batch']['geomean_speedup']}x; verifier end-to-end "
         f"{verifier['speedup']}x over {verifier['cases']} cases"
     )
     print(f"wrote {args.output}")

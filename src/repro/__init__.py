@@ -4,6 +4,9 @@ This package reproduces the system described in "Insights from Rights and
 Wrongs: A Large Language Model for Solving Assertion Failures in RTL Design"
 (DAC 2025).  It contains every substrate the paper depends on:
 
+* :mod:`repro.runtime` -- the deterministic sharded-map execution runtime
+  (worker pools, derived seeding, content-addressed result caching) every
+  parallel workload plugs into.
 * :mod:`repro.hdl` -- a Verilog/SystemVerilog-subset front end (lexer,
   parser, elaborator, semantic linter) standing in for Icarus Verilog.
 * :mod:`repro.sim` -- a cycle-accurate RTL simulator with 4-state values.

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from repro.corpus.corruptor import CorruptedSample, SyntaxCorruptor
 from repro.corpus.metadata import DesignArtifact, DesignFamily
 from repro.corpus.spec import build_spec
-from repro.corpus.templates import all_families
+from repro.corpus.templates import all_families, family_by_name
+from repro.runtime import run_jobs
 
 
 @dataclass
@@ -26,6 +27,8 @@ class CorpusConfig:
     design_count: int = 120
     corrupted_fraction: float = 0.2
     jitter_widths: bool = True
+    #: Worker-pool size for the per-design build fan-out; <= 1 runs in-process.
+    workers: int = 1
 
     def corrupted_count(self) -> int:
         return max(1, int(self.design_count * self.corrupted_fraction))
@@ -87,14 +90,22 @@ class CorpusGenerator:
         return self._families
 
     def generate(self) -> Corpus:
-        """Generate the full corpus according to the configuration."""
+        """Generate the full corpus according to the configuration.
+
+        Instance planning and seed drawing stay serial (they share the
+        generator's RNG stream), then the per-design builds -- the actual
+        cost -- fan out through :func:`repro.runtime.run_jobs`.  Every job
+        carries its own spec seed, drawn up front in instance order, so the
+        corpus is byte-identical for any worker count.
+        """
         corpus = Corpus()
         instances = self._plan_instances(self._config.design_count)
-        for index, (family, params) in enumerate(instances):
-            name = f"{family.name}_{index:04d}"
-            artifact = family.build(name, **params)
-            spec = build_spec(artifact, seed=self._random.randint(0, 1_000_000))
-            corpus.samples.append(CorpusSample(artifact=artifact, spec=spec))
+        jobs = [
+            (family.name, params, f"{family.name}_{index:04d}",
+             self._random.randint(0, 1_000_000))
+            for index, (family, params) in enumerate(instances)
+        ]
+        corpus.samples = run_jobs(jobs, _build_sample_job, workers=self._config.workers)
         corruptor = SyntaxCorruptor(seed=self._config.seed + 1)
         victims = self._random.sample(
             corpus.samples, min(self._config.corrupted_count(), len(corpus.samples))
@@ -135,6 +146,14 @@ class CorpusGenerator:
                 delta = self._random.choice((-2, -1, 1, 2))
                 jittered[key] = max(low, min(high, jittered[key] + delta))
         return jittered
+
+
+def _build_sample_job(job: tuple[str, dict, str, int]) -> CorpusSample:
+    """Worker function: build one design and its spec (module-level so it
+    pickles; the family is rebuilt from its registry name in the worker)."""
+    family_name, params, name, spec_seed = job
+    artifact = family_by_name(family_name).build(name, **params)
+    return CorpusSample(artifact=artifact, spec=build_spec(artifact, seed=spec_seed))
 
 
 def generate_corpus(config: CorpusConfig | None = None) -> Corpus:

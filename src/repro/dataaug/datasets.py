@@ -54,6 +54,15 @@ class VerilogBugEntry:
     def answer(self) -> str:
         return f"Buggy line {self.line_number}: {self.buggy_line.strip()}\nCorrected code: {self.golden_line.strip()}"
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (every field is a JSON-native scalar)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerilogBugEntry":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
 
 @dataclass
 class SvaBugEntry:

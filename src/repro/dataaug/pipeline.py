@@ -7,12 +7,17 @@ length-binned module-name split, and returns the finished datasets:
 * ``verilog_bug``      -- compiling bugs that trigger no assertion (auxiliary SFT data),
 * ``sva_bug_train``    -- assertion-failure repair training data (with CoTs),
 * ``sva_eval_machine`` -- the held-out 10 % that seeds SVA-Eval-Machine.
+
+Every stage fans out through :mod:`repro.runtime`, and one
+``PipelineConfig.workers`` knob sizes all of them at once; the datasets are
+byte-identical for any worker count (and for cold or warm result cache).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.corpus.generator import Corpus, CorpusConfig, CorpusGenerator
@@ -32,57 +37,104 @@ class PipelineConfig:
     stage2: Stage2Config = field(default_factory=Stage2Config)
     stage3: Stage3Config = field(default_factory=Stage3Config)
     train_fraction: float = 0.9
+    #: One worker knob for the whole pipeline: when set, it overrides every
+    #: stage's own worker count (corpus builds, Stage-1 compile checks, the
+    #: Stage-2 fan-out, Stage-3 CoT jobs).  ``None`` leaves the per-stage
+    #: settings alone (Stage 2 then auto-detects cores).  The output is
+    #: byte-identical for any value.
+    workers: Optional[int] = None
+    #: Optional content-addressed result cache directory (threaded to the
+    #: Stage-2 per-sample cache): re-runs only process what changed.
+    cache_dir: Optional[str] = None
 
     @classmethod
-    def small(cls, seed: int = 2025, workers: int = 1) -> "PipelineConfig":
+    def small(
+        cls, seed: int = 2025, workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ) -> "PipelineConfig":
         """A configuration sized for fast tests (a handful of designs)."""
         return cls(
             seed=seed,
             corpus=CorpusConfig(seed=seed, design_count=10, corrupted_fraction=0.3),
-            stage2=Stage2Config(
-                seed=seed + 1, random_cycles=32, max_bugs_per_design=3, workers=workers
-            ),
+            stage2=Stage2Config(seed=seed + 1, random_cycles=32, max_bugs_per_design=3),
             stage3=Stage3Config(seed=seed + 2),
+            workers=workers,
+            cache_dir=cache_dir,
         )
 
     @classmethod
     def default(
-        cls, seed: int = 2025, design_count: int = 150, workers: int = 1
+        cls, seed: int = 2025, design_count: int = 150,
+        workers: Optional[int] = None, cache_dir: Optional[str] = None,
     ) -> "PipelineConfig":
         """The benchmark-scale configuration.
 
-        ``workers`` sizes the Stage-2 multiprocessing fan-out (the dominant
-        cost at this scale); the output is identical for any worker count.
+        ``workers`` sizes every stage's fan-out (Stage 2 dominates at this
+        scale); the output is identical for any worker count.
         """
         return cls(
             seed=seed,
             corpus=CorpusConfig(seed=seed, design_count=design_count),
-            stage2=Stage2Config(seed=seed + 1, workers=workers),
+            stage2=Stage2Config(seed=seed + 1),
             stage3=Stage3Config(seed=seed + 2),
+            workers=workers,
+            cache_dir=cache_dir,
         )
 
 
 class DataAugmentationPipeline:
-    """Runs corpus generation and the three augmentation stages."""
+    """Runs corpus generation and the three augmentation stages.
+
+    After :meth:`run`, :attr:`stage_timings` holds the wall-clock seconds of
+    each stage (``corpus`` / ``stage1`` / ``stage2`` / ``split`` /
+    ``stage3``) -- telemetry only, never part of the datasets.
+    """
 
     def __init__(self, config: Optional[PipelineConfig] = None):
         self._config = config or PipelineConfig()
+        self.stage_timings: dict[str, float] = {}
+
+    def _effective_configs(self) -> tuple[CorpusConfig, Stage2Config, Stage3Config, int]:
+        """Per-stage configs with the pipeline-level knobs threaded through."""
+        config = self._config
+        corpus_config, stage2_config, stage3_config = (
+            config.corpus, config.stage2, config.stage3
+        )
+        if config.workers is not None:
+            corpus_config = replace(corpus_config, workers=config.workers)
+            stage2_config = replace(stage2_config, workers=config.workers)
+            stage3_config = replace(stage3_config, workers=config.workers)
+        if config.cache_dir is not None and stage2_config.cache_dir is None:
+            stage2_config = replace(stage2_config, cache_dir=str(config.cache_dir))
+        stage1_workers = config.workers if config.workers is not None else 1
+        return corpus_config, stage2_config, stage3_config, stage1_workers
 
     def run(self, corpus: Optional[Corpus] = None) -> AugmentedDatasets:
         """Execute the full pipeline and return the datasets."""
         config = self._config
+        corpus_config, stage2_config, stage3_config, stage1_workers = (
+            self._effective_configs()
+        )
         statistics = DatasetStatistics()
+        timings: dict[str, float] = {}
 
-        corpus = corpus or CorpusGenerator(config.corpus).generate()
+        def timed(label: str, step):
+            started = time.perf_counter()
+            value = step()
+            timings[label] = time.perf_counter() - started
+            return value
+
+        corpus = corpus or timed(
+            "corpus", lambda: CorpusGenerator(corpus_config).generate()
+        )
         statistics.corpus_samples = len(corpus.samples) + len(corpus.corrupted)
 
-        stage1 = run_stage1(corpus)
+        stage1 = timed("stage1", lambda: run_stage1(corpus, workers=stage1_workers))
         statistics.filtered_out = stage1.filtered_out
         statistics.compile_failures = stage1.compile_failures
         statistics.verilog_pt_entries = len(stage1.verilog_pt)
 
-        stage2_runner = Stage2Runner(config.stage2)
-        stage2 = stage2_runner.run(stage1.compiled)
+        stage2 = timed("stage2", lambda: Stage2Runner(stage2_config).run(stage1.compiled))
         statistics.candidate_svas = stage2.candidate_svas
         statistics.validated_svas = stage2.validated_svas
         statistics.injected_bugs = stage2.injected_bugs
@@ -90,14 +142,20 @@ class DataAugmentationPipeline:
         statistics.sva_bug_entries = len(stage2.sva_bug)
         statistics.verilog_bug_entries = len(stage2.verilog_bug)
 
-        train_entries, eval_entries = split_by_module_name(
-            stage2.sva_bug, train_fraction=config.train_fraction, seed=config.seed
+        train_entries, eval_entries = timed(
+            "split",
+            lambda: split_by_module_name(
+                stage2.sva_bug, train_fraction=config.train_fraction, seed=config.seed
+            ),
         )
 
-        generated, valid = run_stage3(train_entries, config.stage3)
+        generated, valid = timed(
+            "stage3", lambda: run_stage3(train_entries, stage3_config)
+        )
         statistics.cot_generated = generated
         statistics.cot_valid = valid
 
+        self.stage_timings = timings
         return AugmentedDatasets(
             verilog_pt=stage1.verilog_pt,
             verilog_bug=stage2.verilog_bug,

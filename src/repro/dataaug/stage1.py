@@ -19,6 +19,7 @@ from repro.corpus.corruptor import CorruptedSample
 from repro.dataaug.datasets import VerilogPTEntry
 from repro.hdl.lint import compile_source
 from repro.hdl.source import normalize_line
+from repro.runtime import run_jobs
 
 
 @dataclass
@@ -57,13 +58,50 @@ def analyse_compile_failure(render: str) -> str:
     return "the compiler reported: " + "; ".join(diagnostics[:3])
 
 
-def run_stage1(corpus: Corpus) -> Stage1Result:
-    """Run Stage 1 over a generated corpus."""
+def _check_sample_job(source: str) -> dict:
+    """Worker function: the per-sample filter facts and compile verdict.
+
+    Pure in the source text, so the checks fan out while the
+    order-dependent parts of Stage 1 (deduplication, routing) stay in the
+    serial fold below.  A later-deduplicated sample wastes one compile in
+    a worker; it cannot change the output.
+    """
+    if not has_module_envelope(source) or not has_functional_logic(source):
+        return {"filtered": True, "fingerprint": "", "compile_ok": False, "analysis": ""}
+    compile_result = compile_source(source)
+    return {
+        "filtered": False,
+        "fingerprint": content_fingerprint(source),
+        "compile_ok": compile_result.ok,
+        "analysis": (
+            "" if compile_result.ok else analyse_compile_failure(compile_result.render())
+        ),
+    }
+
+
+def run_stage1(corpus: Corpus, workers: int = 1) -> Stage1Result:
+    """Run Stage 1 over a generated corpus.
+
+    The per-sample work (filtering facts + the compile check, the stage's
+    cost) fans out through :func:`repro.runtime.run_jobs`; deduplication and
+    routing fold the results serially in corpus order, so the output is
+    byte-identical for any worker count.
+    """
     result = Stage1Result()
     seen: set[str] = set()
 
-    def consider(sample: CorpusSample, source: str, corruption: CorruptedSample | None) -> None:
-        if not has_module_envelope(source) or not has_functional_logic(source):
+    considered: list[tuple[CorpusSample, str, CorruptedSample | None]] = [
+        (sample, sample.source, None) for sample in corpus.samples
+    ]
+    considered.extend(
+        (sample, corrupted.source, corrupted) for sample, corrupted in corpus.corrupted
+    )
+    checks = run_jobs(
+        [source for _, source, _ in considered], _check_sample_job, workers=workers
+    )
+
+    for (sample, source, corruption), check in zip(considered, checks):
+        if check["filtered"]:
             # Truncated/garbled samples can lose their envelope entirely; they
             # still carry structural value, so keep them for pretraining when a
             # ground-truth corruption explanation exists.
@@ -80,26 +118,20 @@ def run_stage1(corpus: Corpus) -> Stage1Result:
                 result.compile_failures += 1
             else:
                 result.filtered_out += 1
-            return
-        fingerprint = content_fingerprint(source)
-        if fingerprint in seen:
+            continue
+        if check["fingerprint"] in seen:
             result.filtered_out += 1
-            return
-        seen.add(fingerprint)
-        compile_result = compile_source(source)
-        if compile_result.ok:
+            continue
+        seen.add(check["fingerprint"])
+        if check["compile_ok"]:
             if corruption is None:
                 result.compiled.append(sample)
             else:
                 # A corruption that still compiles is not a useful PT entry.
                 result.filtered_out += 1
-            return
+            continue
         result.compile_failures += 1
-        analysis = (
-            corruption.explanation
-            if corruption is not None
-            else analyse_compile_failure(compile_result.render())
-        )
+        analysis = corruption.explanation if corruption is not None else check["analysis"]
         result.verilog_pt.append(
             VerilogPTEntry(
                 name=sample.name,
@@ -109,9 +141,4 @@ def run_stage1(corpus: Corpus) -> Stage1Result:
                 corruption_kind=corruption.corruption_kind if corruption else "organic",
             )
         )
-
-    for sample in corpus.samples:
-        consider(sample, sample.source, corruption=None)
-    for sample, corrupted in corpus.corrupted:
-        consider(sample, corrupted.source, corruption=corrupted)
     return result

@@ -18,9 +18,7 @@ For every sample that survived Stage 1:
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field, replace
-from multiprocessing import get_context
 from typing import Optional
 
 from repro.bugs.injector import BugInjector, InjectionConfig
@@ -29,6 +27,7 @@ from repro.corpus.generator import CorpusSample
 from repro.dataaug.datasets import SvaBugEntry, VerilogBugEntry
 from repro.hdl.elaborate import ElaboratedDesign
 from repro.hdl.lint import compile_source
+from repro.runtime import ResultCache, content_key, default_workers, derive_seed, run_jobs
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stimulus import StimulusGenerator
 from repro.sva.checker import check_assertions
@@ -39,6 +38,10 @@ from repro.sva.generator import (
     template_assertion_blocks,
 )
 from repro.sva.logs import format_failure_log
+
+#: Bumped whenever per-sample Stage-2 semantics change: keys old cached
+#: results out of any ``Stage2Config.cache_dir`` directory.
+STAGE2_RESULT_VERSION = "stage2_result/v1"
 
 
 @dataclass
@@ -51,10 +54,35 @@ class Stage2Config:
     max_bugs_per_design: int = 6
     injection: InjectionConfig = field(default_factory=InjectionConfig)
     #: Worker-pool size for the per-sample fan-out; <= 1 runs in-process.
-    workers: int = 1
+    #: Defaults to the machine's cores (capped, ``REPRO_WORKERS``-overridable).
+    workers: int = field(default_factory=default_workers)
     #: Assertion-checker backend for SVA validation and bug triage
     #: ("auto" | "compiled" | "interp"); both produce identical outcomes.
     checker_backend: str = "auto"
+    #: Optional content-addressed result cache directory: per-sample results
+    #: are persisted so re-runs only process samples whose inputs changed.
+    cache_dir: Optional[str] = None
+
+    def content_fingerprint(self) -> str:
+        """Every config field that can change a per-sample result.
+
+        Worker count and cache location deliberately excluded -- they can
+        only change wall time, never output.
+        """
+        return "|".join(
+            str(part)
+            for part in (
+                self.seed,
+                self.random_cycles,
+                self.max_mined_assertions,
+                self.max_bugs_per_design,
+                self.injection.seed,
+                self.injection.max_bugs_per_design,
+                self.injection.max_candidates_per_line,
+                self.injection.require_compile,
+                self.checker_backend,
+            )
+        )
 
 
 @dataclass
@@ -79,6 +107,31 @@ class Stage2Result:
         self.rejected_not_compiling += other.rejected_not_compiling
         self.designs_without_valid_svas += other.designs_without_valid_svas
 
+    def to_dict(self) -> dict:
+        """JSON-safe form, used by the runtime's per-sample result cache."""
+        return {
+            "sva_bug": [entry.to_dict() for entry in self.sva_bug],
+            "verilog_bug": [entry.to_dict() for entry in self.verilog_bug],
+            "candidate_svas": self.candidate_svas,
+            "validated_svas": self.validated_svas,
+            "injected_bugs": self.injected_bugs,
+            "rejected_not_compiling": self.rejected_not_compiling,
+            "designs_without_valid_svas": self.designs_without_valid_svas,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Stage2Result":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            sva_bug=[SvaBugEntry.from_dict(entry) for entry in payload["sva_bug"]],
+            verilog_bug=[VerilogBugEntry.from_dict(entry) for entry in payload["verilog_bug"]],
+            candidate_svas=payload["candidate_svas"],
+            validated_svas=payload["validated_svas"],
+            injected_bugs=payload["injected_bugs"],
+            rejected_not_compiling=payload["rejected_not_compiling"],
+            designs_without_valid_svas=payload["designs_without_valid_svas"],
+        )
+
 
 def _simulate(design: ElaboratedDesign, seed: int, cycles: int):
     simulator = Simulator(design)
@@ -90,11 +143,11 @@ def _simulate(design: ElaboratedDesign, seed: int, cycles: int):
 class Stage2Runner:
     """Runs Stage 2 for a batch of compiled corpus samples.
 
-    Samples are independent, so ``run`` fans them out across a
-    ``multiprocessing`` pool when ``config.workers > 1``.  Mutation seeding
-    is derived per sample (from the config seed and the sample name), which
-    makes the output identical whether the batch runs serially or in
-    parallel, and independent of sample order.
+    Samples are independent, so ``run`` fans them out through the shared
+    :func:`repro.runtime.run_jobs` executor when ``config.workers > 1``.
+    Mutation seeding is derived per sample (from the config seed and the
+    sample name), which makes the output identical whether the batch runs
+    serially or in parallel, and independent of sample order.
     """
 
     def __init__(self, config: Optional[Stage2Config] = None):
@@ -104,7 +157,7 @@ class Stage2Runner:
         """A fresh, deterministically seeded injector for one sample."""
         injection = replace(
             self._config.injection,
-            seed=self._config.injection.seed ^ zlib.crc32(sample.name.encode()),
+            seed=derive_seed(self._config.injection.seed, sample.name),
             max_bugs_per_design=self._config.max_bugs_per_design,
         )
         return BugInjector(injection)
@@ -256,32 +309,53 @@ class Stage2Runner:
             )
 
     def run(self, samples: list[CorpusSample]) -> Stage2Result:
-        """Run Stage 2 for every sample, fanning out to workers when asked.
+        """Run Stage 2 for every sample through the runtime executor.
 
         Results are merged in submission order, so worker count never
-        changes the output.
+        changes the output; with ``config.cache_dir`` set, per-sample
+        results are served content-addressed from disk on re-runs.
         """
-        workers = min(self._config.workers, len(samples))
-        if workers <= 1:
-            result = Stage2Result()
-            for sample in samples:
-                self.process_sample(sample, result)
-            return result
-        context = get_context()
-        jobs = [(self._config, sample) for sample in samples]
+        config = self._config
+        cache = ResultCache(config.cache_dir) if config.cache_dir else None
+        sample_results = run_jobs(
+            samples,
+            _process_sample_job,
+            workers=config.workers,
+            context=config,
+            cache=cache,
+            key_fn=lambda sample: _sample_key(config, sample),
+            encode=Stage2Result.to_dict,
+            decode=Stage2Result.from_dict,
+        )
         result = Stage2Result()
-        with context.Pool(processes=workers) as pool:
-            for sample_result in pool.imap(_process_sample_job, jobs):
-                result.merge(sample_result)
+        for sample_result in sample_results:
+            result.merge(sample_result)
         return result
 
 
-def _process_sample_job(job: tuple[Stage2Config, CorpusSample]) -> Stage2Result:
-    """Pool entry point: run one sample in a worker and ship its result back."""
-    config, sample = job
+def _process_sample_job(sample: CorpusSample, config: Stage2Config) -> Stage2Result:
+    """Worker function: run one sample and ship its result back."""
     result = Stage2Result()
     Stage2Runner(config).process_sample(sample, result)
     return result
+
+
+def _sample_key(config: Stage2Config, sample: CorpusSample) -> str:
+    """Content address of one sample's Stage-2 result.
+
+    Covers everything the per-sample flow reads: the config (minus
+    wall-time-only knobs), the golden source, the spec, and the artifact
+    fields that feed candidate SVAs.
+    """
+    return content_key(
+        STAGE2_RESULT_VERSION,
+        config.content_fingerprint(),
+        sample.name,
+        sample.source,
+        sample.spec,
+        sample.artifact.family,
+        "\x01".join(sample.artifact.template_svas),
+    )
 
 
 def _assertion_label(candidate: MinedAssertion) -> str:

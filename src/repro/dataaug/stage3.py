@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.dataaug.datasets import SvaBugEntry
 from repro.hdl.source import SourceFile, lines_equivalent, strip_comment
+from repro.runtime import derive_seed, run_jobs
 from repro.sva.logs import parse_failure_log
 
 
@@ -31,6 +32,8 @@ class Stage3Config:
 
     seed: int = 17
     drift_probability: float = 0.25  # fraction of CoTs that reason to the wrong place
+    #: Worker-pool size for the per-entry fan-out; <= 1 runs in-process.
+    workers: int = 1
 
 
 @dataclass
@@ -80,28 +83,37 @@ def write_cot(entry: SvaBugEntry, claimed_line: int, claimed_buggy: str, claimed
 
 
 class CotGenerator:
-    """Generates and validates chains of thought for SVA-Bug entries."""
+    """Generates and validates chains of thought for SVA-Bug entries.
+
+    The drift noise is drawn from a *per-entry* RNG derived from the config
+    seed and the entry name -- not from one shared stream -- so which CoTs
+    drift is independent of entry order and of how the per-entry jobs are
+    sharded across workers.
+    """
 
     def __init__(self, config: Optional[Stage3Config] = None):
         self._config = config or Stage3Config()
-        self._random = random.Random(self._config.seed)
+
+    def _entry_rng(self, entry: SvaBugEntry) -> random.Random:
+        return random.Random(derive_seed(self._config.seed, entry.name))
 
     def generate(self, entry: SvaBugEntry) -> CotDraft:
         """Produce a CoT draft for one entry (ground truth given, noise injected)."""
-        if self._random.random() >= self._config.drift_probability:
+        rng = self._entry_rng(entry)
+        if rng.random() >= self._config.drift_probability:
             return CotDraft(
                 text=write_cot(entry, entry.line_number, entry.buggy_line, entry.golden_line),
                 claimed_line_number=entry.line_number,
                 claimed_buggy_line=entry.buggy_line,
                 claimed_fix=entry.golden_line,
             )
-        return self._drifted(entry)
+        return self._drifted(entry, rng)
 
-    def _drifted(self, entry: SvaBugEntry) -> CotDraft:
+    def _drifted(self, entry: SvaBugEntry, rng: random.Random) -> CotDraft:
         """A CoT that reasons its way to a wrong conclusion (imperfect teacher)."""
         source = SourceFile(entry.buggy_source)
         code_lines = source.code_line_numbers()
-        if self._random.random() < 0.5 and len(code_lines) > 1:
+        if rng.random() < 0.5 and len(code_lines) > 1:
             # Wrong line: pick a different functional line near the real bug.
             neighbours = [n for n in code_lines if n != entry.line_number]
             claimed_line = min(
@@ -131,19 +143,31 @@ class CotGenerator:
     def annotate(self, entries: list[SvaBugEntry]) -> tuple[int, int]:
         """Generate + validate CoTs for every entry in place.
 
+        Per-entry jobs fan out through :func:`repro.runtime.run_jobs`
+        (entries carry all their own state and the drift RNG is derived per
+        entry), and the drafts are applied back in entry order, so the
+        annotations are byte-identical for any worker count.
+
         Returns:
             (generated_count, valid_count)
         """
-        generated = 0
+        drafts = run_jobs(
+            entries, _cot_job, workers=self._config.workers, context=self._config
+        )
         valid = 0
-        for entry in entries:
-            draft = self.generate(entry)
-            generated += 1
-            entry.cot = draft.text
-            entry.cot_valid = self.validate(entry, draft)
-            if entry.cot_valid:
+        for entry, (text, cot_valid) in zip(entries, drafts):
+            entry.cot = text
+            entry.cot_valid = cot_valid
+            if cot_valid:
                 valid += 1
-        return generated, valid
+        return len(entries), valid
+
+
+def _cot_job(entry: SvaBugEntry, config: Stage3Config) -> tuple[str, bool]:
+    """Worker function: one entry's CoT text and validation verdict."""
+    generator = CotGenerator(config)
+    draft = generator.generate(entry)
+    return draft.text, generator.validate(entry, draft)
 
 
 def run_stage3(entries: list[SvaBugEntry], config: Optional[Stage3Config] = None) -> tuple[int, int]:

@@ -9,8 +9,9 @@ stimulus, and clears every assertion.  The pieces:
   structured :class:`~repro.eval.verifier.RepairVerdict`;
 * :mod:`repro.eval.cache` -- a content-addressed on-disk verdict cache keyed
   by (source, fix, stimulus seeds), making re-runs incremental;
-* :mod:`repro.eval.executor` -- sharded multiprocessing fan-out over
-  verification jobs, worker-count invariant by construction;
+* :mod:`repro.eval.executor` -- sharded fan-out over verification jobs via
+  the shared :mod:`repro.runtime` executor, worker-count invariant by
+  construction;
 * :mod:`repro.eval.harness` -- runs a repair engine over the held-out
   ``sva_eval_machine`` split and computes pass@1 / pass@k with per-taxonomy
   and per-template-family breakdowns;

@@ -31,6 +31,7 @@ from repro.eval.harness import EvalConfig, EvalHarness
 from repro.eval.reports import write_reports
 from repro.eval.verifier import SemanticVerifier
 from repro.model.assertsolver_model import AssertSolverModel
+from repro.runtime import default_workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,7 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="how far to train the policy before evaluating",
     )
     parser.add_argument("--ks", type=int, nargs="+", default=[1, 5], help="report pass@k for these k")
-    parser.add_argument("--workers", type=int, default=1, help="verification worker processes")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help=(
+            "worker processes for the pipeline stages and verification "
+            "(default: detected cores, capped; override with REPRO_WORKERS)"
+        ),
+    )
     parser.add_argument(
         "--verification-seeds", type=int, default=2, help="independent stimulus seeds per candidate"
     )
@@ -90,9 +99,11 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.design_count > 0:
-        pipeline_config = PipelineConfig.default(seed=args.seed, design_count=args.design_count)
+        pipeline_config = PipelineConfig.default(
+            seed=args.seed, design_count=args.design_count, workers=args.workers
+        )
     else:
-        pipeline_config = PipelineConfig.small(seed=args.seed)
+        pipeline_config = PipelineConfig.small(seed=args.seed, workers=args.workers)
 
     started = time.perf_counter()
     datasets = DataAugmentationPipeline(pipeline_config).run()

@@ -3,17 +3,18 @@
 Every verification verdict is a pure function of (buggy source, fix, stimulus
 seeds, cycle budget, verifier version), so verdicts are stored under the
 SHA-256 of exactly those inputs: re-running an evaluation only simulates what
-changed, and concurrent worker processes share one cache directory safely
-(writes are atomic renames; a lost race simply rewrites identical content).
+changed, and concurrent worker processes share one cache directory safely.
+
+The storage itself is :class:`repro.runtime.cache.ResultCache` -- the same
+generic store the pipeline's Stage-2 result cache uses; this module only
+contributes the verdict-specific key recipe.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from pathlib import Path
-from typing import Optional, Sequence
+from typing import Sequence
+
+from repro.runtime.cache import ResultCache, content_key
 
 
 def verdict_key(
@@ -30,49 +31,14 @@ def verdict_key(
     that resolve to different patch sites can never alias, and two fixes
     that produce identical text share one verdict by construction.
     """
-    digest = hashlib.sha256()
-    for part in (
+    return content_key(
         version,
         patched_source,
         ",".join(str(seed) for seed in seeds),
         str(cycles),
         str(reset_cycles),
-    ):
-        digest.update(part.encode())
-        digest.update(b"\x00")
-    return digest.hexdigest()
+    )
 
 
-class VerdictCache:
+class VerdictCache(ResultCache):
     """A directory of ``<key-prefix>/<key>.json`` verdict files."""
-
-    def __init__(self, root: Path | str):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
-
-    def get(self, key: str) -> Optional[dict]:
-        """The stored verdict payload, or ``None`` on a miss."""
-        path = self._path(key)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload
-
-    def put(self, key: str, payload: dict) -> None:
-        """Persist a verdict (atomic: visible either fully or not at all)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        temporary.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(temporary, path)
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))

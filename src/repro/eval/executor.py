@@ -2,20 +2,25 @@
 
 A :class:`VerificationJob` is one evaluation case with its ranked candidate
 fixes -- everything a worker needs, as plain picklable data.  Jobs are
-independent, every seed is carried inside the job, and results are merged in
-submission order, so the output is bit-identical for any worker count (the
-same per-case determinism discipline as the Stage-2 fan-out).
+independent, every seed is carried inside the job, and the fan-out is the
+shared :func:`repro.runtime.run_jobs` executor (submission-order merging),
+so the output is bit-identical for any worker count -- the same determinism
+contract every stage of the pipeline runs under.
+
+The per-fix verdict cache stays *inside* the worker (each fix of a job can
+hit or miss independently); the runtime's job-level result cache is the
+wrong granularity here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from pathlib import Path
 from typing import Optional
 
 from repro.eval.cache import VerdictCache
 from repro.eval.verifier import CandidateFix, RepairVerdict, SemanticVerifier, VerifierConfig
+from repro.runtime import run_jobs
 
 
 @dataclass(frozen=True)
@@ -43,6 +48,7 @@ class ShardResult:
 
 
 def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
+    """Worker function: verify one job (module-level so it pickles)."""
     cache = VerdictCache(cache_dir) if cache_dir else None
     verifier = SemanticVerifier(
         config=VerifierConfig(cycles=job.cycles, checker_backend=job.checker_backend),
@@ -57,26 +63,14 @@ def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
     return result
 
 
-def _run_job_entry(payload: tuple[VerificationJob, Optional[str]]) -> ShardResult:
-    """Pool entry point (module-level so it pickles)."""
-    job, cache_dir = payload
-    return _run_job(job, cache_dir)
-
-
 def run_verification_jobs(
     jobs: list[VerificationJob],
     workers: int = 1,
     cache_dir: Optional[Path | str] = None,
 ) -> list[ShardResult]:
-    """Verify every job, fanning out across a process pool when asked.
+    """Verify every job through the shared runtime executor.
 
     Returns one :class:`ShardResult` per job, in job order.
     """
     cache_arg = str(cache_dir) if cache_dir is not None else None
-    workers = min(workers, len(jobs)) if jobs else 0
-    if workers <= 1:
-        return [_run_job(job, cache_arg) for job in jobs]
-    context = get_context()
-    payloads = [(job, cache_arg) for job in jobs]
-    with context.Pool(processes=workers) as pool:
-        return list(pool.imap(_run_job_entry, payloads))
+    return run_jobs(jobs, _run_job, workers=workers, context=cache_arg)

@@ -216,7 +216,25 @@ class SemanticVerifier:
     def verify_source(
         self, patched_source: str, seeds: Sequence[int], cycles: Optional[int] = None
     ) -> RepairVerdict:
-        """Compile + simulate + check ``patched_source`` on every seed."""
+        """Compile + simulate + check ``patched_source`` on every seed.
+
+        The first seed is simulated and checked on its own -- most wrong
+        candidates already fail there, and that path must stay one
+        simulation + one check.  Only when it passes are the remaining
+        seeds simulated and their traces pushed through the lowered
+        checker in **one batch pass** (:meth:`check_batch`), paying the
+        per-assertion dispatch once for the rest of the batch.  (With many
+        verification seeds this trades away the old early exit on a
+        *middle* seed's assertion failure -- a candidate that already
+        survived seed one rarely fails later, and the default is two
+        seeds, so the batch is the better default.)  The
+        verdict is identical to the historical seed-by-seed loop --
+        failures are attributed to the first failing seed in seed order, a
+        simulation error on a later seed still loses to an assertion
+        failure on an earlier one, and ``exercised`` accumulates over
+        exactly the seeds the old loop would have checked -- so cached
+        verdicts stay valid.
+        """
         seeds = tuple(seeds)
         cycles = self.config.cycles if cycles is None else cycles
         result = compile_source(patched_source)
@@ -235,32 +253,63 @@ class SemanticVerifier:
             # exception that aborts a whole eval run, and "auto" is
             # outcome-identical, so degrade to the per-assertion fallback.
             checker = CheckerBackend(design, backend="auto")
-        exercised = False
-        for seed in seeds:
+        def simulate(seed: int):
             stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(
                 random_cycles=cycles, reset_cycles=self.config.reset_cycles
             )
+            return Simulator(design).run(stimulus.vectors)
+
+        exercised = False
+
+        def failure_verdict(seed: int, report) -> RepairVerdict:
+            first = report.first_failure()
+            return RepairVerdict(
+                status="assertion_fail",
+                seeds=seeds,
+                cycles=cycles,
+                failing_assertions=report.failed_assertions,
+                failing_seed=seed,
+                first_failure_cycle=first.fail_cycle if first else None,
+                exercised=exercised,
+                detail=first.render() if first else "",
+            )
+
+        # First seed alone: the common assertion_fail verdict exits here
+        # after exactly one simulation and one check.
+        try:
+            first_trace = simulate(seeds[0]) if seeds else None
+        except SimulationError as exc:
+            return RepairVerdict(
+                status="sim_error", seeds=seeds, cycles=cycles,
+                failing_seed=seeds[0], detail=str(exc),
+            )
+        if first_trace is not None:
+            report = checker.check(first_trace)
+            exercised = any(
+                outcome.antecedent_matches > 0 for outcome in report.outcomes.values()
+            )
+            if not report.passed:
+                return failure_verdict(seeds[0], report)
+
+        # Remaining seeds: simulate, then one batched checking pass.
+        simulated: list[tuple[int, object]] = []
+        sim_failure: Optional[tuple[int, str]] = None
+        for seed in seeds[1:]:
             try:
-                trace = Simulator(design).run(stimulus.vectors)
+                simulated.append((seed, simulate(seed)))
             except SimulationError as exc:
-                return RepairVerdict(
-                    status="sim_error", seeds=seeds, cycles=cycles,
-                    failing_seed=seed, detail=str(exc),
-                )
-            report = checker.check(trace)
+                sim_failure = (seed, str(exc))
+                break
+        reports = checker.check_batch([trace for _, trace in simulated])
+        for (seed, _), report in zip(simulated, reports):
             exercised = exercised or any(
                 outcome.antecedent_matches > 0 for outcome in report.outcomes.values()
             )
             if not report.passed:
-                first = report.first_failure()
-                return RepairVerdict(
-                    status="assertion_fail",
-                    seeds=seeds,
-                    cycles=cycles,
-                    failing_assertions=report.failed_assertions,
-                    failing_seed=seed,
-                    first_failure_cycle=first.fail_cycle if first else None,
-                    exercised=exercised,
-                    detail=first.render() if first else "",
-                )
+                return failure_verdict(seed, report)
+        if sim_failure is not None:
+            return RepairVerdict(
+                status="sim_error", seeds=seeds, cycles=cycles,
+                failing_seed=sim_failure[0], detail=sim_failure[1],
+            )
         return RepairVerdict(status="pass", seeds=seeds, cycles=cycles, exercised=exercised)

@@ -30,6 +30,17 @@ class SftConfig:
     learning_rate: float = 0.6
     learning_rate_decay: float = 0.85
     l2: float = 1e-3
+    #: Per-step ridge penalty on the *localisation* head.  The localisation
+    #: features are heavily collinear (``assigns_failing_signal`` is a subset
+    #: of ``is_assignment``), and at small training scale the unregularised
+    #: MLE parks a large *negative* weight on ``assigns_failing_signal``
+    #: while ``is_assignment`` soaks up the shared evidence -- outright
+    #: down-ranking the very lines a verification engineer reads first.  The
+    #: ridge pulls the solution toward the first-order (gradient-at-zero)
+    #: direction, which distributes the shared evidence across the
+    #: correlated features and keeps the sign right; the fix head is not
+    #: collinear and stays unregularised.
+    localisation_l2: float = 0.5
     auxiliary_weight: float = 0.3  # weight of Verilog-Bug (no-assertion) cases
     seed: int = 23
 
@@ -164,6 +175,11 @@ class SftTrainer:
         observed = analysis.line_features[line_index]
         expected = line_probabilities @ analysis.line_features
         weights.localisation += learning_rate * example.weight * (observed - expected)
+        # SGD on the ridge-penalised likelihood: the decay is the -l2*w term
+        # of the gradient, scaled like the data term.
+        weights.localisation *= (
+            1.0 - learning_rate * example.weight * self._config.localisation_l2
+        )
         log_likelihood = float(np.log(max(line_probabilities[line_index], 1e-12)))
 
         fix_index = self._fix_target_index(example)

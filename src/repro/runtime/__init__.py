@@ -1,0 +1,38 @@
+"""repro.runtime -- one deterministic execution runtime for every fan-out.
+
+The paper's pipeline (Fig. 2) is embarrassingly parallel end to end; this
+package is the single layer all of its workloads plug into instead of each
+hand-rolling a ``multiprocessing`` pool:
+
+* :func:`run_jobs` -- the sharded-map executor (pool lifecycle, chunking,
+  submission-order merging, optional content-addressed result caching);
+* :func:`derive_seed` -- per-job seed derivation, the invariance trick that
+  makes output independent of worker count and job order;
+* :func:`default_workers` -- the one shared "how many workers" default
+  (cores, capped, ``REPRO_WORKERS``-overridable);
+* :class:`ResultCache` / :func:`content_key` -- the generic on-disk cache
+  that :class:`repro.eval.cache.VerdictCache` specialises.
+
+Adopters: corpus generation (per-design jobs), Stage 1 (per-sample compile
+checks), Stage 2 (per-sample SVA validation + bug injection), Stage 3
+(per-entry CoT jobs) and ``repro.eval`` verification (per-case jobs).
+"""
+
+from repro.runtime.cache import ResultCache, content_key
+from repro.runtime.executor import (
+    DEFAULT_WORKER_CAP,
+    WORKERS_ENV,
+    default_workers,
+    derive_seed,
+    run_jobs,
+)
+
+__all__ = [
+    "DEFAULT_WORKER_CAP",
+    "WORKERS_ENV",
+    "ResultCache",
+    "content_key",
+    "default_workers",
+    "derive_seed",
+    "run_jobs",
+]

@@ -1,0 +1,70 @@
+"""Content-addressed on-disk result cache.
+
+Every cacheable result in this codebase is a pure function of its inputs --
+a verification verdict of (patched source, seeds, cycles, version), a Stage-2
+result of (stage config, sample) -- so results are stored under the SHA-256
+of exactly those inputs.  Re-running a pipeline or an evaluation then only
+recomputes what changed, and concurrent worker processes share one cache
+directory safely: writes are atomic renames, and a lost race simply rewrites
+identical content (the payload is a function of the key's inputs).
+
+:class:`ResultCache` is the generic store; :func:`content_key` builds keys.
+:class:`repro.eval.cache.VerdictCache` is the verdict-specialised instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+
+def content_key(*parts: str) -> str:
+    """The content address of one result: SHA-256 over NUL-separated parts.
+
+    Every input that can change the result must appear in ``parts`` (include
+    a version string so semantic changes key old entries out); anything that
+    cannot -- worker counts, directory paths -- must not.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key-prefix>/<key>.json`` result files."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Persist a payload (atomic: visible either fully or not at all)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        temporary.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(temporary, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,177 @@
+"""The deterministic sharded-map executor.
+
+Every parallel island of the reproduction -- corpus generation, Stages 1-3
+of the augmentation pipeline, evaluation verification -- is the same shape:
+a list of independent, picklable jobs mapped through a pure worker function.
+:func:`run_jobs` is that shape, implemented once:
+
+* **pool lifecycle + chunking** -- one ``multiprocessing`` pool per call,
+  sized ``min(workers, len(jobs))``, with submission chunked to amortise
+  IPC for many small jobs;
+* **submission-order merging** -- results come back in job order whatever
+  the completion order, so worker count can never reorder output;
+* **derived seeding** -- workers receive no shared RNG; every job carries
+  its own seed, derived from a base seed and a stable job identity via
+  :func:`derive_seed` (the discipline Stage 2 pioneered);
+* **optional result caching** -- with ``cache``/``key_fn``, finished jobs
+  are stored content-addressed on disk and later runs only execute misses.
+
+The determinism contract for a workload plugging in:
+
+1. ``worker_fn`` must be a module-level callable (it is pickled by
+   reference) and a pure function of ``(job, context)`` -- no globals, no
+   ambient RNG, no mutation of shared state;
+2. every random decision inside the worker must be seeded from data carried
+   by the job (use :func:`derive_seed`), never from worker identity, job
+   index arithmetic over a shared sequence, or wall clock;
+3. results must be picklable, and -- when caching -- ``encode``/``decode``
+   must round-trip them through JSON exactly.
+
+Under that contract ``run_jobs(jobs, fn, workers=k)`` is byte-identical to
+``[fn(job, context) for job in jobs]`` for every ``k``, which is what the
+pipeline's worker-count invariance tests assert end to end.
+
+One platform note: because several stage configs default their worker
+count to :func:`default_workers`, library code that reaches ``run_jobs``
+from a top-level script must live behind the standard
+``if __name__ == "__main__":`` guard on multiprocessing start methods that
+re-import the main module (``spawn``/``forkserver``) -- the usual
+requirement for any pool user.  Set ``REPRO_WORKERS=1`` to force every
+default serial.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from multiprocessing import get_context
+from typing import Any, Callable, Optional, Sequence
+
+from repro.runtime.cache import ResultCache
+
+#: Hard ceiling for auto-detected worker counts: beyond this the per-process
+#: interpreter overhead dwarfs the win for this codebase's job sizes.
+DEFAULT_WORKER_CAP = 8
+
+#: Environment variable overriding :func:`default_workers` everywhere.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers(cap: int = DEFAULT_WORKER_CAP, env: str = WORKERS_ENV) -> int:
+    """Worker count to use when the caller did not choose one.
+
+    Detects the machine's cores, capped at ``cap``; the ``REPRO_WORKERS``
+    environment variable overrides the detection (still capped at 1 from
+    below, so ``REPRO_WORKERS=0`` means serial, not a crash).
+    """
+    override = os.environ.get(env, "").strip()
+    if override:
+        try:
+            return max(1, min(int(override), cap))
+        except ValueError:
+            pass
+    return max(1, min(os.cpu_count() or 1, cap))
+
+
+def derive_seed(base: int, *tokens: str) -> int:
+    """A per-job seed derived from ``base`` and the job's stable identity.
+
+    Folding the identity in with CRC-32 keeps the value independent of job
+    order, worker count and everything else the determinism contract bans.
+    With a single token this is exactly the ``base ^ crc32(token)`` formula
+    Stage 2 has always used for its per-sample injector seeds; multiple
+    tokens are NUL-joined so ``("a", "b")`` never collides with ``("ab",)``.
+    """
+    return base ^ zlib.crc32("\x00".join(tokens).encode())
+
+
+class _NoContext:
+    """Sentinel for "no context given" (a class, so it pickles by reference).
+
+    A distinct sentinel rather than ``None`` so that ``None`` remains a
+    perfectly good *context value* (e.g. "no cache directory") -- workers
+    with a context always receive two arguments, even when it is ``None``.
+    """
+
+
+def _pool_entry(payload: tuple[Callable, Any, Any]) -> Any:
+    """Pool entry point (module-level so it pickles)."""
+    worker_fn, job, context = payload
+    return _invoke(worker_fn, job, context)
+
+
+def _invoke(worker_fn: Callable, job: Any, context: Any) -> Any:
+    return worker_fn(job) if context is _NoContext else worker_fn(job, context)
+
+
+def run_jobs(
+    jobs: Sequence[Any],
+    worker_fn: Callable,
+    *,
+    workers: int = 1,
+    context: Any = _NoContext,
+    cache: Optional[ResultCache] = None,
+    key_fn: Optional[Callable[[Any], str]] = None,
+    encode: Callable[[Any], dict] = lambda result: result,
+    decode: Callable[[dict], Any] = lambda payload: payload,
+    chunksize: Optional[int] = None,
+) -> list[Any]:
+    """Map ``worker_fn`` over ``jobs``, fanning out across processes.
+
+    Args:
+        jobs: independent, picklable job payloads.
+        worker_fn: module-level callable, invoked as ``worker_fn(job)`` or
+            ``worker_fn(job, context)`` when ``context`` is given.
+        workers: pool size; ``<= 1`` (or one job) runs in-process.
+        context: shared read-only payload (e.g. a stage config) handed to
+            every invocation alongside the job; when given (``None``
+            included), the worker is called as ``worker_fn(job, context)``.
+        cache: optional :class:`ResultCache`; requires ``key_fn``.
+        key_fn: maps a job to its content-address
+            (:func:`repro.runtime.cache.content_key` over every input that
+            can change the result -- and nothing that cannot).
+        encode / decode: JSON round-trip for cached results; default
+            identity (results must then already be JSON-safe).
+        chunksize: jobs per pool submission; default splits the miss list
+            evenly across workers in a handful of waves.
+
+    Returns:
+        One result per job, in submission order, for any worker count.
+    """
+    if cache is not None and key_fn is None:
+        raise ValueError("run_jobs(cache=...) requires key_fn")
+    jobs = list(jobs)
+    results: list[Any] = [None] * len(jobs)
+
+    pending = list(range(len(jobs)))
+    keys: list[Optional[str]] = [None] * len(jobs)
+    if cache is not None and key_fn is not None:
+        pending = []
+        for index, job in enumerate(jobs):
+            keys[index] = key_fn(job)
+            payload = cache.get(keys[index])
+            if payload is None:
+                pending.append(index)
+            else:
+                results[index] = decode(payload)
+    if not pending:
+        return results
+
+    def store(index: int, result: Any) -> Any:
+        if cache is not None:
+            cache.put(keys[index], encode(result))
+        return result
+
+    workers = min(workers, len(pending))
+    if workers <= 1:
+        for index in pending:
+            results[index] = store(index, _invoke(worker_fn, jobs[index], context))
+        return results
+
+    payloads = [(worker_fn, jobs[index], context) for index in pending]
+    if chunksize is None:
+        chunksize = max(1, len(pending) // (workers * 4))
+    with get_context().Pool(processes=workers) as pool:
+        for index, result in zip(pending, pool.imap(_pool_entry, payloads, chunksize)):
+            results[index] = store(index, result)
+    return results

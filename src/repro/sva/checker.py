@@ -228,6 +228,18 @@ class AssertionChecker:
             report.outcomes[spec.name] = self._check_assertion(spec, trace)
         return report
 
+    def check_batch(
+        self, traces: list[Trace], assertions: Optional[list[AssertionSpec]] = None
+    ) -> list[CheckReport]:
+        """Check several traces (e.g. one per verification seed) in one call.
+
+        The tree-walker has no per-trace state to amortise, so this is a
+        plain loop; it exists so both backends expose the same batch API
+        (the compiled backend shares its per-assertion dispatch across the
+        batch).  Reports come back in trace order.
+        """
+        return [self.check(trace, assertions) for trace in traces]
+
     # ------------------------------------------------------------------ #
     # per-assertion evaluation
     # ------------------------------------------------------------------ #

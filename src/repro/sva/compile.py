@@ -250,28 +250,60 @@ class CompiledAssertionChecker:
 
     def check(self, trace: Trace, assertions: Optional[list[AssertionSpec]] = None) -> CheckReport:
         """Check (a subset of) the design's assertions over ``trace``."""
-        report = CheckReport()
+        return self.check_batch([trace], assertions)[0]
+
+    def check_batch(
+        self, traces: list[Trace], assertions: Optional[list[AssertionSpec]] = None
+    ) -> list[CheckReport]:
+        """Check several traces (e.g. one per verification seed) in one pass.
+
+        The lowering is shared by construction; what batching adds is one
+        per-assertion dispatch (lowered lookup, on-the-fly lowering of
+        foreign specs, series release) for the whole batch instead of one
+        per trace.  The per-cycle series evaluation is inherently per trace,
+        so the win is the dispatch overhead, not the checking itself --
+        outcome-identical to calling :meth:`check` per trace, in trace
+        order, which is what the batch differential test asserts.
+        """
         specs = assertions if assertions is not None else self._design.assertions
-        rows = self._trace_rows(trace)
-        if rows is None:
-            # A referenced signal is missing from the trace samples; the
-            # tree-walker's per-expression EvalError semantics apply.
-            return self._oracle.check(trace, assertions)
-        rows_v, rows_x = rows
-        n = len(trace)
+        reports: list[CheckReport] = []
+        prepared: list[Optional[tuple[list, list, int]]] = []
+        for trace in traces:
+            rows = self._trace_rows(trace)
+            if rows is None:
+                # A referenced signal is missing from the trace samples; the
+                # tree-walker's per-expression EvalError semantics apply.
+                reports.append(self._oracle.check(trace, assertions))
+                prepared.append(None)
+            else:
+                reports.append(CheckReport())
+                prepared.append((rows[0], rows[1], len(trace)))
         for spec in specs:
             lowered = self._lowered.get(id(spec))
+            if lowered is None and id(spec) not in self._lowered:
+                # A spec object the design does not own (ad-hoc subset
+                # checking): lower on the fly, once for the whole batch,
+                # without caching -- a dead foreign spec's id could be
+                # recycled.
+                lowered = self._lower(spec)
             if lowered is None:
-                if id(spec) not in self._lowered:
-                    # A spec object the design does not own (ad-hoc subset
-                    # checking): lower on the fly, without caching -- a dead
-                    # foreign spec's id could be recycled.
-                    lowered = self._lower(spec)
-                if lowered is None:
-                    report.outcomes[spec.name] = self._oracle._check_assertion(spec, trace)
-                    continue
-            report.outcomes[spec.name] = self._check_lowered(lowered, rows_v, rows_x, n)
-        return report
+                for trace, ready, report in zip(traces, prepared, reports):
+                    if ready is not None:
+                        report.outcomes[spec.name] = self._oracle._check_assertion(spec, trace)
+                continue
+            try:
+                for ready, report in zip(prepared, reports):
+                    if ready is None:
+                        continue
+                    rows_v, rows_x, n = ready
+                    report.outcomes[spec.name] = self._evaluate_lowered(
+                        lowered, AssertionOutcome(name=spec.name), rows_v, rows_x, n
+                    )
+            finally:
+                # A long-lived checker (cached on the design) must not retain
+                # the last trace's sampled-value series between checks.
+                lowered.registry.release()
+        return reports
 
     def _trace_rows(self, trace: Trace) -> Optional[tuple[list, list]]:
         """The referenced signals' (value, xmask) columns, one row per cycle.
@@ -299,18 +331,6 @@ class CompiledAssertionChecker:
             rows_v.append(row_v)
             rows_x.append(row_x)
         return rows_v, rows_x
-
-    def _check_lowered(
-        self, lowered: _LoweredAssertion, rows_v: list, rows_x: list, n: int
-    ) -> AssertionOutcome:
-        spec = lowered.spec
-        outcome = AssertionOutcome(name=spec.name)
-        try:
-            return self._evaluate_lowered(lowered, outcome, rows_v, rows_x, n)
-        finally:
-            # A long-lived checker (cached on the design) must not retain the
-            # last trace's sampled-value series between checks.
-            lowered.registry.release()
 
     def _evaluate_lowered(
         self, lowered: _LoweredAssertion, outcome: AssertionOutcome,

@@ -78,6 +78,35 @@ def test_family_outcomes_identical(family):
     assert_reports_identical(design, Simulator(design).run(vectors))
 
 
+@pytest.mark.parametrize("backend", ["compiled", "interp"])
+def test_check_batch_matches_per_trace_check(backend):
+    """One batched pass over several seed traces (the verifier's shape) must
+    be outcome-identical to checking each trace individually, in order."""
+    checked = 0
+    for family in FAMILIES[:8]:
+        _, design = augmented_design(family, prefix=f"batch_{backend}")
+        if design is None or not design.assertions:
+            continue
+        checker = CheckerBackend(design, backend=backend)
+        traces = [
+            Simulator(design).run(
+                StimulusGenerator(design, seed=40 + index).mixed_stimulus(random_cycles=24).vectors
+            )
+            for index in range(3)
+        ]
+        batched = checker.check_batch(traces)
+        singles = [checker.check(trace) for trace in traces]
+        assert len(batched) == len(singles)
+        for one, via_batch in zip(singles, batched):
+            assert list(one.outcomes) == list(via_batch.outcomes)
+            for name in one.outcomes:
+                assert outcome_fields(one.outcomes[name]) == outcome_fields(
+                    via_batch.outcomes[name]
+                ), f"assertion '{name}' diverges between check and check_batch"
+        checked += 1
+    assert checked >= 4
+
+
 @pytest.mark.parametrize("seed", [13, 29])
 def test_mutant_outcomes_identical(seed):
     """Buggy designs (where assertions actually fail) must also agree."""
