@@ -16,10 +16,10 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_sva.py [--cycles N] [--output PATH]
 
-Schema of the output (``bench_sva/v2``)::
+Schema of the output (``bench_sva/v3``)::
 
     {
-      "schema": "bench_sva/v2",
+      "schema": "bench_sva/v3",
       "cycles_per_family": <int>,            # trace length per microbench
       "timing_repeats": <int>,               # best-of-N wall-clock policy
       "microbenchmarks": {
@@ -27,14 +27,20 @@ Schema of the output (``bench_sva/v2``)::
           "assertions": <int>,
           "cycles": <int>,
           "interp_checks_per_s": <float>,    # tree-walking full-trace checks/s
-          "compiled_checks_per_s": <float>,
+          "compiled_checks_per_s": <float>,  # default = vectorised engine
+          "closure_checks_per_s": <float>,   # per-cycle closure path (vectorise=False)
           "lower_ms": <float>,               # one-off assertion lowering cost
-          "speedup": <float>,
+          "speedup": <float>,                # vectorised vs tree-walker
+          "vector_speedup": <float>,         # vectorised vs closure path
           "batch_speedup": <float>           # check_batch vs per-trace check
         }, ...
       },
       "geomean_speedup": <float>,
       "min_speedup": <float>,
+      "vectorised": {                        # columnar engine vs closure path
+        "geomean_speedup": <float>,
+        "min_speedup": <float>
+      },
       "batch": {                             # multi-trace single-pass leg
         "traces": <int>,                     # seed-trace batch size (verifier shape)
         "cycles": <int>,
@@ -48,12 +54,18 @@ Schema of the output (``bench_sva/v2``)::
       }
     }
 
-v2 adds the batch leg: the verifier now pushes all of a candidate's
-seed traces through the lowered checker in one ``check_batch`` pass, and
+v3 adds the vectorised leg: the compiled checker now evaluates element and
+sampled-value series as whole-trace numpy array expressions over the
+columnar trace view (``Trace.columns()``), and ``vector_speedup`` records
+what that buys over the previous per-cycle closure path on the same trace
+(``closure_checks_per_s``, still reachable via ``vectorise=False``).  The
+run hard-fails on any verdict divergence between the tree-walker, the
+closure path and the vectorised path, batched or not.
+
+v2 added the batch leg: the verifier pushes all of a candidate's seed
+traces through the lowered checker in one ``check_batch`` pass, and
 ``batch_speedup`` records what that single pass buys over per-trace
-``check`` calls (the per-assertion dispatch is amortised; the per-cycle
-series evaluation is inherently per trace, so the delta is modest by
-design).
+``check`` calls (dispatch amortisation only).
 """
 
 from __future__ import annotations
@@ -137,6 +149,11 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
     lower_ms = (time.perf_counter() - start) * 1e3
     compiled_s = _best_of(repeat, lambda: compiled.check(trace))
 
+    # The previous engine generation: same lowering, per-cycle closure
+    # series instead of whole-array evaluation, on the very same trace.
+    closure = CompiledAssertionChecker(design, strict=True, vectorise=False)
+    closure_s = _best_of(repeat, lambda: closure.check(trace))
+
     # Multi-trace batch leg: all seed traces through one check_batch pass
     # (what the verifier does per candidate) vs one check call per trace.
     batch = [
@@ -150,12 +167,17 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
     sequential_s = _best_of(repeat, lambda: [compiled.check(t) for t in batch])
     batched_s = _best_of(repeat, lambda: compiled.check_batch(batch))
 
-    # The benchmark doubles as a coarse differential guard (including the
-    # batched pass against per-trace checking).
-    left, right = interp.check(trace), compiled.check(trace)
+    # The benchmark doubles as a differential guard and hard-fails on any
+    # verdict divergence: tree-walker vs vectorised vs closure path, plus
+    # the batched pass against per-trace checking.
+    left, right, middle = interp.check(trace), compiled.check(trace), closure.check(trace)
     for name in left.outcomes:
         if left.outcomes[name].comparison_key() != right.outcomes[name].comparison_key():
             raise RuntimeError(f"{family.name}: backends disagree on assertion '{name}'")
+        if left.outcomes[name].comparison_key() != middle.outcomes[name].comparison_key():
+            raise RuntimeError(
+                f"{family.name}: closure path disagrees on assertion '{name}'"
+            )
     for single, via_batch in zip([compiled.check(t) for t in batch], compiled.check_batch(batch)):
         for name in single.outcomes:
             if single.outcomes[name].comparison_key() != via_batch.outcomes[name].comparison_key():
@@ -166,8 +188,10 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
         "cycles": len(trace),
         "interp_checks_per_s": round(1.0 / interp_s, 2),
         "compiled_checks_per_s": round(1.0 / compiled_s, 2),
+        "closure_checks_per_s": round(1.0 / closure_s, 2),
         "lower_ms": round(lower_ms, 3),
         "speedup": round(interp_s / compiled_s, 2),
+        "vector_speedup": round(closure_s / compiled_s, 3),
         "batch_speedup": round(sequential_s / batched_s, 3),
     }
 
@@ -212,6 +236,12 @@ def main() -> int:
         help="exit non-zero if the geomean checking speedup falls below this",
     )
     parser.add_argument(
+        "--min-vector-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the vectorised-vs-closure geomean falls below this",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_sva.json",
@@ -229,25 +259,33 @@ def main() -> int:
             f"{family.name:<26} {entry['assertions']:>2d} SVAs   "
             f"interp {entry['interp_checks_per_s']:>8.1f} checks/s   "
             f"compiled {entry['compiled_checks_per_s']:>8.1f} checks/s   "
-            f"{entry['speedup']:>5.1f}x"
+            f"{entry['speedup']:>5.1f}x  ({entry['vector_speedup']:.2f}x vs closure)"
         )
     if not micro:
         print("FAIL: no family produced a checkable design")
         return 1
 
+    def geomean_of(values: list[float]) -> float:
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
     speedups = [entry["speedup"] for entry in micro.values()]
-    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-    batch_speedups = [entry["batch_speedup"] for entry in micro.values()]
-    batch_geomean = math.exp(sum(math.log(s) for s in batch_speedups) / len(batch_speedups))
+    geomean = geomean_of(speedups)
+    vector_speedups = [entry["vector_speedup"] for entry in micro.values()]
+    vector_geomean = geomean_of(vector_speedups)
+    batch_geomean = geomean_of([entry["batch_speedup"] for entry in micro.values()])
 
     verifier = bench_verifier(min(args.cycles, 96), families[: args.verifier_cases])
     report = {
-        "schema": "bench_sva/v2",
+        "schema": "bench_sva/v3",
         "cycles_per_family": args.cycles,
         "timing_repeats": args.repeat,
         "microbenchmarks": micro,
         "geomean_speedup": round(geomean, 2),
         "min_speedup": round(min(speedups), 2),
+        "vectorised": {
+            "geomean_speedup": round(vector_geomean, 3),
+            "min_speedup": round(min(vector_speedups), 3),
+        },
         "batch": {
             "traces": BATCH_TRACES,
             "cycles": BATCH_CYCLES,
@@ -258,18 +296,27 @@ def main() -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"\ngeomean checking speedup {report['geomean_speedup']}x "
-        f"(min {report['min_speedup']}x); batched seed-trace pass "
-        f"{report['batch']['geomean_speedup']}x; verifier end-to-end "
+        f"(min {report['min_speedup']}x); vectorised over closure path "
+        f"{report['vectorised']['geomean_speedup']}x "
+        f"(min {report['vectorised']['min_speedup']}x); batched seed-trace "
+        f"pass {report['batch']['geomean_speedup']}x; verifier end-to-end "
         f"{verifier['speedup']}x over {verifier['cases']} cases"
     )
     print(f"wrote {args.output}")
+    failed = False
     if args.min_speedup is not None and geomean < args.min_speedup:
         print(
             f"FAIL: geomean speedup {report['geomean_speedup']}x is below "
             f"the --min-speedup gate of {args.min_speedup}x"
         )
-        return 1
-    return 0
+        failed = True
+    if args.min_vector_speedup is not None and vector_geomean < args.min_vector_speedup:
+        print(
+            f"FAIL: vectorised geomean {report['vectorised']['geomean_speedup']}x "
+            f"is below the --min-vector-speedup gate of {args.min_vector_speedup}x"
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ from repro.eval.cache import VerdictCache, verdict_key
 from repro.hdl.lint import compile_source
 from repro.hdl.source import SourceFile, lines_equivalent
 from repro.sim.compile import CompileError
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SimulationError, Simulator, SimulatorOptions
 from repro.sim.stimulus import StimulusGenerator
 from repro.sva.checker import CheckerBackend
 
@@ -257,7 +257,14 @@ class SemanticVerifier:
             stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(
                 random_cycles=cycles, reset_cycles=self.config.reset_cycles
             )
-            return Simulator(design).run(stimulus.vectors)
+            # Column recording streams per-signal (value, xmask) change
+            # events into the trace while simulating, so the vectorised
+            # checker's columnar view costs O(changes) per seed and the
+            # trace never needs to materialise per-cycle dicts; each
+            # candidate's columns are then built once per trace inside the
+            # batched checking pass.
+            options = SimulatorOptions(record_columns=True)
+            return Simulator(design, options).run(stimulus.vectors)
 
         exercised = False
 

@@ -999,6 +999,8 @@ class CompiledSimulator:
             for i in range(n)
         }
         self._trace = DiffTrace(signals=sorted(design.signals), base=base)
+        if self._options.record_columns:
+            self._trace.enable_column_recording()
 
     # ------------------------------------------------------------------ #
     # public API (mirrors InterpSimulator)
@@ -1170,10 +1172,12 @@ class CompiledSimulator:
         self._apply_inputs(inputs)
         self._settle()
         self._fire_async_edges()
-        pre_diff = self._record_diff()
+        # A pre-edge change is sampled from its own cycle on; a post-edge
+        # change is first sampled one cycle later (matching DiffTrace).
+        pre_diff = self._record_diff(self._cycle)
         self._fire_clock_edge()
         self._settle()
-        post_diff = self._record_diff()
+        post_diff = self._record_diff(self._cycle + 1)
         self._trace.append_diffs(pre_diff, post_diff)
         self._cycle += 1
 
@@ -1264,7 +1268,7 @@ class CompiledSimulator:
         for slot, (v, x) in nonblocking.items():
             write(slot, v, x)
 
-    def _record_diff(self) -> dict[str, LogicValue]:
+    def _record_diff(self, event_cycle: int) -> dict[str, LogicValue]:
         diff: dict[str, LogicValue] = {}
         shadow_v = self._shadow_v
         shadow_x = self._shadow_x
@@ -1272,6 +1276,7 @@ class CompiledSimulator:
         xm = self._xm
         names = self._names
         widths = self._sig_width
+        column_events = self._trace._column_events
         for slot in self._rec_changed:
             v = val[slot]
             x = xm[slot]
@@ -1279,5 +1284,9 @@ class CompiledSimulator:
                 shadow_v[slot] = v
                 shadow_x[slot] = x
                 diff[names[slot]] = _fast_logic_value(v, x, widths[slot])
+                if column_events is not None:
+                    # Straight into the column buffers: flat ints, no
+                    # LogicValue unpacking when columns() is consumed later.
+                    column_events.setdefault(names[slot], []).append((event_cycle, v, x))
         self._rec_changed.clear()
         return diff

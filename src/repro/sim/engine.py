@@ -42,6 +42,12 @@ class SimulatorOptions:
     x_initial_state: bool = False  # initialise registers to x instead of 0
     max_settle_iterations: int = _MAX_SETTLE_ITERATIONS
     backend: str = "auto"  # "auto" | "compiled" | "interp"
+    #: Compiled backend only: stream per-signal column change events (flat
+    #: ints) into the DiffTrace while simulating, so ``trace.columns()`` --
+    #: what the vectorised SVA checker consumes -- never has to unpack
+    #: LogicValue diffs.  The interpreter ignores this (its plain Trace
+    #: builds columns from samples).
+    record_columns: bool = False
 
 
 def detect_clock(design: ElaboratedDesign) -> str:

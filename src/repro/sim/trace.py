@@ -12,7 +12,85 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+import numpy as np
+
 from repro.sim.values import LogicValue
+
+#: Widest signal stored in a fast (int64) column.  Values and xmasks are kept
+#: masked to the signal width, so anything up to 63 bits fits a non-negative
+#: int64; wider signals fall back to object-dtype columns of Python ints.
+INT64_COLUMN_MAX_WIDTH = 63
+
+
+def _column_dtype(width: int):
+    return np.int64 if width <= INT64_COLUMN_MAX_WIDTH else object
+
+
+@dataclass
+class TraceColumns:
+    """Per-signal preponed ``(value, xmask)`` column arrays over all cycles.
+
+    The columnar twin of the row-oriented :class:`Trace`: one pair of
+    length-``cycles`` ndarrays per signal, holding exactly the values
+    :meth:`Trace.sampled_values` would return, as flat integers.  Signals up
+    to :data:`INT64_COLUMN_MAX_WIDTH` bits use ``int64`` columns (what the
+    vectorised checker consumes); wider signals degrade to object-dtype
+    columns of Python ints so the representation stays total.
+    """
+
+    cycles: int
+    values: dict[str, np.ndarray]
+    xmasks: dict[str, np.ndarray]
+    widths: dict[str, int]
+
+    def signal(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(value, xmask)`` column pair of one signal."""
+        try:
+            return self.values[name], self.xmasks[name]
+        except KeyError as exc:
+            raise KeyError(f"signal '{name}' has no column in this trace") from exc
+
+
+def _fill_columns_from_events(
+    names: list[str],
+    events: dict[str, list[tuple[int, int, int]]],
+    widths: dict[str, int],
+    cycles: int,
+) -> TraceColumns:
+    """Build :class:`TraceColumns` from per-signal change events.
+
+    ``events[name]`` is ``[(start_cycle, value, xmask), ...]`` in application
+    order: each event holds from its start cycle until the next event (later
+    events at the same start cycle override earlier ones).  The fill is one
+    slice assignment per *change*, so quiet signals cost O(1) regardless of
+    trace length.
+    """
+    values: dict[str, np.ndarray] = {}
+    xmasks: dict[str, np.ndarray] = {}
+    for name in names:
+        dtype = _column_dtype(widths[name])
+        signal_events = events[name]
+        count = len(signal_events)
+        if count == 0:  # pragma: no cover - callers always seed a cycle-0 event
+            values[name] = np.zeros(cycles, dtype=dtype)
+            xmasks[name] = np.zeros(cycles, dtype=dtype)
+            continue
+        # Each event holds until the next one's (clipped) start: one
+        # np.repeat builds the whole column, so the fill is O(events) numpy
+        # work whether the signal changed once or every cycle.
+        starts = np.fromiter((e[0] for e in signal_events), np.int64, count)
+        np.clip(starts, 0, cycles, out=starts)
+        stops = np.empty(count, dtype=np.int64)
+        stops[:-1] = starts[1:]
+        stops[-1] = cycles
+        lengths = np.maximum(stops - starts, 0)
+        values[name] = np.repeat(
+            np.fromiter((e[1] for e in signal_events), dtype, count), lengths
+        )
+        xmasks[name] = np.repeat(
+            np.fromiter((e[2] for e in signal_events), dtype, count), lengths
+        )
+    return TraceColumns(cycles=cycles, values=values, xmasks=xmasks, widths=dict(widths))
 
 
 @dataclass
@@ -91,18 +169,87 @@ class Trace:
         """This trace with every sample realised as plain dicts (identity here)."""
         return self
 
+    def has_signals(self, names: list[str]) -> bool:
+        """True when every name is present in every sample's preponed dict.
+
+        The cheap membership probe consumers use to decide up front whether
+        :meth:`columns` / per-cycle reads can succeed; shared sample dicts
+        (quiet stretches) are probed once, and no values are touched.
+        """
+        prev_pre: Optional[dict] = None
+        for sample in self.samples:
+            pre = sample.pre_edge
+            if pre is prev_pre:
+                continue
+            for name in names:
+                if name not in pre:
+                    return False
+            prev_pre = pre
+        return True
+
+    def columns(self, names: Optional[list[str]] = None) -> TraceColumns:
+        """Columnar view: per-signal preponed ``(value, xmask)`` ndarrays.
+
+        Column ``values[name][c]`` equals ``value_at(name, c).value`` for
+        every cycle (and likewise for the xmask), so the vectorised checker
+        can evaluate whole-trace expressions without touching per-cycle
+        dicts.  Raises :class:`KeyError` (with the offending names) when a
+        requested signal is absent from the trace samples.
+        """
+        names = list(names) if names is not None else list(self.signals)
+        cycles = len(self.samples)
+        if cycles == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return TraceColumns(
+                cycles=0,
+                values={name: empty for name in names},
+                xmasks={name: empty for name in names},
+                widths={name: 1 for name in names},
+            )
+        samples = self.samples
+        first = samples[0].pre_edge
+        missing = sorted(name for name in names if name not in first)
+        if missing:
+            raise KeyError(f"signals not in trace: {', '.join(missing)}")
+        values: dict[str, np.ndarray] = {}
+        xmasks: dict[str, np.ndarray] = {}
+        widths: dict[str, int] = {}
+        for name in names:
+            width = first[name].width
+            dtype = _column_dtype(width)
+            try:
+                sampled = [sample.pre_edge[name] for sample in samples]
+            except KeyError as exc:
+                raise KeyError(f"signals not in trace: {name}") from exc
+            widths[name] = width
+            values[name] = np.fromiter((v.value for v in sampled), dtype, cycles)
+            xmasks[name] = np.fromiter((v.xmask for v in sampled), dtype, cycles)
+        return TraceColumns(cycles=cycles, values=values, xmasks=xmasks, widths=widths)
+
     def render(self, names: Optional[list[str]] = None, max_cycles: int = 32) -> str:
-        """Render a compact text waveform table (one row per signal)."""
+        """Render a compact text waveform table (one row per signal).
+
+        The name column is sized to the longest rendered name (no silent
+        truncation), and unknown names raise :class:`ValueError` up front
+        instead of a bare ``KeyError`` mid-render.
+        """
         names = names or self.signals
+        available = self.samples[0].pre_edge if self.samples else self.signals
+        missing = sorted(name for name in names if name not in available)
+        if missing:
+            raise ValueError(
+                f"cannot render signals not in trace: {', '.join(missing)}"
+            )
         cycles = min(len(self.samples), max_cycles)
-        header = "cycle     " + " ".join(f"{i:>4d}" for i in range(cycles))
+        name_width = max([len("cycle")] + [len(name) for name in names]) + 1
+        header = f"{'cycle':<{name_width}}" + " ".join(f"{i:>4d}" for i in range(cycles))
         rows = [header]
         for name in names:
             cells = []
             for i in range(cycles):
                 value = self.samples[i].sampled(name)
                 cells.append("   x" if value.has_unknown else f"{value.to_int():>4d}")
-            rows.append(f"{name:<10.10s}" + " ".join(cells))
+            rows.append(f"{name:<{name_width}}" + " ".join(cells))
         return "\n".join(rows)
 
 
@@ -129,6 +276,12 @@ class DiffTrace(Trace):
         self._pre_diffs: list[dict[str, LogicValue]] = []
         self._post_diffs: list[dict[str, LogicValue]] = []
         self._cache: list[TraceSample] = []
+        #: Optional simulator-recorded column buffers: per-signal change
+        #: events ``(sample_cycle, value, xmask)`` as plain ints, written
+        #: straight from the compiled simulator's flat arrays (see
+        #: ``SimulatorOptions.record_columns``).  When present,
+        #: :meth:`columns` reads them instead of unpacking LogicValue diffs.
+        self._column_events: Optional[dict[str, list[tuple[int, int, int]]]] = None
 
     # -- recording (used by the compiled backend) ----------------------- #
 
@@ -142,6 +295,21 @@ class DiffTrace(Trace):
 
     def append(self, sample: TraceSample) -> None:  # pragma: no cover - guard
         raise TypeError("DiffTrace records cycles via append_diffs(), not append()")
+
+    def enable_column_recording(self) -> None:
+        """Let the recording simulator stream column events into this trace.
+
+        The producer (the compiled simulator's diff recorder) appends
+        ``(sample_cycle, value, xmask)`` tuples straight into
+        ``_column_events`` -- deliberately no per-event method call on a
+        loop that runs for every changed signal of every cycle.
+        """
+        if self._column_events is None:
+            self._column_events = {}
+
+    @property
+    def records_columns(self) -> bool:
+        return self._column_events is not None
 
     # -- lazy materialisation ------------------------------------------- #
 
@@ -176,6 +344,53 @@ class DiffTrace(Trace):
     def materialized(self) -> Trace:
         """An eager :class:`Trace` copy (useful before pickling across processes)."""
         return Trace(signals=list(self.signals), samples=list(self.samples))
+
+    def has_signals(self, names: list[str]) -> bool:
+        # Diff keys are always a subset of the base keys (both come from the
+        # recording simulator's fixed signal list), so base membership is
+        # the whole answer -- no materialisation.
+        base = self._base
+        return all(name in base for name in names)
+
+    def columns(self, names: Optional[list[str]] = None) -> TraceColumns:
+        """Columnar view built **directly from the recorded diffs**.
+
+        Unlike the base implementation this never materialises per-cycle
+        sample dicts: each diff entry becomes one change event and quiet
+        stretches become one slice fill, so a quiet design's columns cost
+        O(changes), not O(cycles x signals).  When the simulator recorded
+        column events (``SimulatorOptions.record_columns``), those flat int
+        buffers are consumed as-is.
+        """
+        names = list(names) if names is not None else list(self.signals)
+        base = self._base
+        missing = sorted(name for name in names if name not in base)
+        if missing:
+            raise KeyError(f"signals not in trace: {', '.join(missing)}")
+        cycles = len(self._pre_diffs)
+        widths = {name: base[name].width for name in names}
+        events: dict[str, list[tuple[int, int, int]]] = {
+            name: [(0, base[name].value, base[name].xmask)] for name in names
+        }
+        if self._column_events is not None:
+            for name in names:
+                recorded = self._column_events.get(name)
+                if recorded:
+                    events[name].extend(recorded)
+        else:
+            wanted = set(names)
+            # A pre-edge change holds from its own cycle; a post-edge change
+            # is first *sampled* one cycle later.  Iterating cycle-by-cycle
+            # appends events in exactly the order the diffs were applied, so
+            # a later event at the same start cycle correctly overrides.
+            for cycle in range(cycles):
+                for name, value in self._pre_diffs[cycle].items():
+                    if name in wanted:
+                        events[name].append((cycle, value.value, value.xmask))
+                for name, value in self._post_diffs[cycle].items():
+                    if name in wanted:
+                        events[name].append((cycle + 1, value.value, value.xmask))
+        return _fill_columns_from_events(names, events, widths, cycles)
 
     # -- cheap accessors that avoid materialising the whole run ---------- #
 

@@ -225,8 +225,22 @@ class AssertionChecker:
         report = CheckReport()
         specs = assertions if assertions is not None else self._design.assertions
         for spec in specs:
-            report.outcomes[spec.name] = self._check_assertion(spec, trace)
+            report.outcomes[spec.name] = self.check_assertion(spec, trace)
         return report
+
+    def check_assertion(self, spec: AssertionSpec, trace: Trace) -> AssertionOutcome:
+        """Check one assertion over ``trace``.
+
+        The public single-assertion entry point: :meth:`check` is built on
+        it, and the compiled backend's per-assertion fallback calls it for
+        specs its lowering rejects (the spec need not belong to the checker's
+        design -- only the signals it references must exist in the trace).
+        """
+        outcome = AssertionOutcome(name=spec.name)
+        for start in range(len(trace)):
+            outcome.attempts += 1
+            self._evaluate_attempt(spec, trace, start, outcome)
+        return outcome
 
     def check_batch(
         self, traces: list[Trace], assertions: Optional[list[AssertionSpec]] = None
@@ -243,13 +257,6 @@ class AssertionChecker:
     # ------------------------------------------------------------------ #
     # per-assertion evaluation
     # ------------------------------------------------------------------ #
-
-    def _check_assertion(self, spec: AssertionSpec, trace: Trace) -> AssertionOutcome:
-        outcome = AssertionOutcome(name=spec.name)
-        for start in range(len(trace)):
-            outcome.attempts += 1
-            self._evaluate_attempt(spec, trace, start, outcome)
-        return outcome
 
     def _evaluate_attempt(
         self, spec: AssertionSpec, trace: Trace, start: int, outcome: AssertionOutcome

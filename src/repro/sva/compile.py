@@ -11,34 +11,50 @@ This backend applies the same lowering recipe to assertions:
 * every boolean-layer expression is compiled **once per design** into a
   closure over flat per-cycle integer arrays, reusing the simulator's
   expression lowering (:class:`~repro.sim.compile.ExprCompiler`);
+* on top of that, each assertion is **vector-lowered** where possible
+  (:mod:`repro.sva.vector`): element expressions and sampled-value series
+  are evaluated as whole-trace numpy array expressions over the trace's
+  columnar view (:meth:`~repro.sim.trace.Trace.columns`), so the per-cycle
+  work drops from one closure-tree call per element per cycle to a handful
+  of array operations per element per trace;
 * sampled-value functions (``$past``/``$rose``/``$fell``/``$stable``/
-  ``$changed``) are lowered to **precomputed per-cycle series**: the
-  argument is evaluated once per cycle, not twice per attempt per cycle;
-* ``disable iff`` becomes a prefix-count mask, so the "was the attempt
-  disabled anywhere in [start, end]" question is O(1) instead of the
-  tree-walker's O(attempt-span) rescan per attempt;
+  ``$changed``) are lowered to **precomputed per-cycle series**: shifted
+  array views on the vectorised path, one argument evaluation per cycle on
+  the closure path -- never twice per attempt per cycle;
+* ``disable iff`` becomes a prefix-count mask (``np.cumsum`` on the
+  vectorised path), so the "was the attempt disabled anywhere in
+  [start, end]" question is O(1) instead of the tree-walker's
+  O(attempt-span) rescan per attempt;
 * attempt evaluation **shares the per-cycle boolean results across all
   start cycles**: each element expression is evaluated exactly once per
-  cycle, and the per-attempt walk is pure list indexing.
+  cycle, and the per-attempt walk is pure list indexing -- the walk itself
+  is one shared implementation (:meth:`CompiledAssertionChecker._walk_attempts`)
+  for both series backends, so the two cannot drift.
 
-The backend is outcome-identical to the tree-walker by construction plus
-differential testing (`tests/test_sva_compile`): attempts, antecedent
-matches, passes, vacuous/pending/disabled counts and every failure's start
-and failing cycle agree.  Assertions using constructs the expression
-lowering rejects fall back, per assertion, to the tree-walking oracle; a
-trace that lacks a referenced signal falls back for the whole call.  Use
-the :func:`~repro.sva.checker.CheckerBackend` factory to construct one.
+The fallback chain is per assertion: **vectorised -> per-cycle closures ->
+tree-walking oracle**.  An assertion the vector lowering refuses (dynamic
+part selects, >63-bit operands, ...) uses the closures; an assertion the
+closure lowering rejects uses the oracle; a trace that lacks a referenced
+signal falls back to the oracle for the whole call.  All three levels are
+outcome-identical by construction plus differential testing
+(`tests/test_sva_compile`, `tests/test_trace_columns`): attempts,
+antecedent matches, passes, vacuous/pending/disabled counts and every
+failure's start and failing cycle agree.  Use the
+:func:`~repro.sva.checker.CheckerBackend` factory to construct one.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.hdl import ast
 from repro.hdl.elaborate import AssertionSpec, ElaboratedDesign
 from repro.sim.compile import CompileError, ExprCompiler
 from repro.sim.engine import SimulationError
 from repro.sim.trace import Trace
+from repro.sva import vector as sva_vector
 from repro.sva.checker import (
     SAMPLED_VALUE_FUNCTIONS,
     AssertionChecker,
@@ -160,11 +176,12 @@ class _LoweredAssertion:
     """One assertion lowered to element closures plus attempt-shape metadata."""
 
     __slots__ = ("spec", "registry", "element_fns", "antecedent", "consequent",
-                 "disable_index", "overlapping")
+                 "disable_index", "overlapping", "vector_fns")
 
     def __init__(self, spec: AssertionSpec, registry: _SampledRegistry,
                  element_fns: list, antecedent: Optional[list], consequent: list,
-                 disable_index: Optional[int]):
+                 disable_index: Optional[int],
+                 vector_fns: Optional[list] = None):
         self.spec = spec
         self.registry = registry
         #: Compiled boolean-layer expressions, indexed by the pairs below.
@@ -174,6 +191,49 @@ class _LoweredAssertion:
         self.consequent = consequent
         self.disable_index = disable_index
         self.overlapping = spec.body.overlapping
+        #: Whole-array (fn, width) pairs, same indexing as element_fns, or
+        #: None when this assertion runs on the per-cycle closure path.
+        self.vector_fns = vector_fns
+
+
+class _PreparedTrace:
+    """One trace's per-call state: columns and/or rows, built at most once.
+
+    Both representations are lazy: columns (the vectorised one) are built by
+    the first vector-lowered assertion, rows (the per-cycle closure one) by
+    the first fallback-path assertion.  A check that only touches one path
+    builds only that representation, and an all-vectorised design never
+    materialises per-cycle sample dicts at all (a DiffTrace stays in diff
+    form).  Signal availability was probed up front (``has_signals``), so
+    the lazy builds cannot fail.
+    """
+
+    __slots__ = ("trace", "cycles", "_cols", "_rows", "_checker")
+
+    def __init__(self, checker: "CompiledAssertionChecker", trace: Trace):
+        self._checker = checker
+        self.trace = trace
+        self.cycles = len(trace)
+        self._cols: Optional[tuple[list, list]] = None
+        self._rows: Optional[tuple[list, list]] = None
+
+    def cols(self) -> tuple[list, list]:
+        if self._cols is None:
+            columns = self.trace.columns(self._checker._names)
+            names = self._checker._names
+            self._cols = (
+                [columns.values[name] for name in names],
+                [columns.xmasks[name] for name in names],
+            )
+        return self._cols
+
+    def rows(self) -> tuple[list, list]:
+        if self._rows is None:
+            rows = self._checker._trace_rows(self.trace)
+            if rows is None:  # pragma: no cover - membership was pre-probed
+                raise KeyError("trace rows unavailable")
+            self._rows = rows
+        return self._rows
 
 
 class CompiledAssertionChecker:
@@ -185,9 +245,13 @@ class CompiledAssertionChecker:
     attempts overlap each cycle.
     """
 
-    def __init__(self, design: ElaboratedDesign, strict: bool = False):
+    def __init__(self, design: ElaboratedDesign, strict: bool = False,
+                 vectorise: bool = True):
         self._design = design
         self._oracle = AssertionChecker(design)
+        #: False forces the per-cycle closure path even for assertions the
+        #: vector lowering supports (the benchmark's like-for-like leg).
+        self._vectorise = vectorise
         referenced: set[str] = set()
         for spec in design.assertions:
             referenced |= spec.identifiers()
@@ -217,6 +281,7 @@ class CompiledAssertionChecker:
         registry = _SampledRegistry()
         compiler = _SvaExprCompiler(self._design, self._slots, registry)
         element_fns: list = []
+        element_exprs: list[ast.Expression] = []
 
         def lower_sequence(sequence: ast.SvaSequence) -> list[tuple[int, int]]:
             items: list[tuple[int, int]] = []
@@ -225,6 +290,7 @@ class CompiledAssertionChecker:
                 offset += element.delay
                 items.append((offset, len(element_fns)))
                 element_fns.append(compiler.compile(element.expr))
+                element_exprs.append(element.expr)
             return items
 
         try:
@@ -238,10 +304,19 @@ class CompiledAssertionChecker:
             if spec.disable_iff is not None:
                 disable_index = len(element_fns)
                 element_fns.append(compiler.compile(spec.disable_iff))
+                element_exprs.append(spec.disable_iff)
         except CompileError:
             return None
+        # Closure lowering succeeded; try the whole-array lowering on top.
+        # A refusal (None) keeps this assertion on the closure path.
+        vector_fns = (
+            sva_vector.lower_elements(self._design, self._slots, element_exprs)
+            if self._vectorise
+            else None
+        )
         return _LoweredAssertion(
-            spec, registry, element_fns, antecedent, consequent, disable_index
+            spec, registry, element_fns, antecedent, consequent, disable_index,
+            vector_fns,
         )
 
     # ------------------------------------------------------------------ #
@@ -257,27 +332,27 @@ class CompiledAssertionChecker:
     ) -> list[CheckReport]:
         """Check several traces (e.g. one per verification seed) in one pass.
 
-        The lowering is shared by construction; what batching adds is one
+        The lowering is shared by construction; batching adds one
         per-assertion dispatch (lowered lookup, on-the-fly lowering of
         foreign specs, series release) for the whole batch instead of one
-        per trace.  The per-cycle series evaluation is inherently per trace,
-        so the win is the dispatch overhead, not the checking itself --
-        outcome-identical to calling :meth:`check` per trace, in trace
-        order, which is what the batch differential test asserts.
+        per trace, and each trace's columnar view is built exactly once and
+        shared by every vectorised assertion.  Outcome-identical to calling
+        :meth:`check` per trace, in trace order, which is what the batch
+        differential test asserts.
         """
         specs = assertions if assertions is not None else self._design.assertions
         reports: list[CheckReport] = []
-        prepared: list[Optional[tuple[list, list, int]]] = []
+        prepared: list[Optional[_PreparedTrace]] = []
         for trace in traces:
-            rows = self._trace_rows(trace)
-            if rows is None:
+            prep = self._prepare_trace(trace)
+            if prep is None:
                 # A referenced signal is missing from the trace samples; the
                 # tree-walker's per-expression EvalError semantics apply.
                 reports.append(self._oracle.check(trace, assertions))
                 prepared.append(None)
             else:
                 reports.append(CheckReport())
-                prepared.append((rows[0], rows[1], len(trace)))
+                prepared.append(prep)
         for spec in specs:
             lowered = self._lowered.get(id(spec))
             if lowered is None and id(spec) not in self._lowered:
@@ -287,23 +362,37 @@ class CompiledAssertionChecker:
                 # recycled.
                 lowered = self._lower(spec)
             if lowered is None:
-                for trace, ready, report in zip(traces, prepared, reports):
-                    if ready is not None:
-                        report.outcomes[spec.name] = self._oracle._check_assertion(spec, trace)
+                for trace, prep, report in zip(traces, prepared, reports):
+                    if prep is not None:
+                        report.outcomes[spec.name] = self._oracle.check_assertion(spec, trace)
                 continue
             try:
-                for ready, report in zip(prepared, reports):
-                    if ready is None:
+                for prep, report in zip(prepared, reports):
+                    if prep is None:
                         continue
-                    rows_v, rows_x, n = ready
-                    report.outcomes[spec.name] = self._evaluate_lowered(
-                        lowered, AssertionOutcome(name=spec.name), rows_v, rows_x, n
-                    )
+                    outcome = AssertionOutcome(name=spec.name)
+                    if lowered.vector_fns is not None:
+                        report.outcomes[spec.name] = self._evaluate_vector(
+                            lowered, outcome, prep.cols(), prep.cycles
+                        )
+                    else:
+                        rows_v, rows_x = prep.rows()
+                        report.outcomes[spec.name] = self._evaluate_lowered(
+                            lowered, outcome, rows_v, rows_x, prep.cycles
+                        )
             finally:
                 # A long-lived checker (cached on the design) must not retain
                 # the last trace's sampled-value series between checks.
                 lowered.registry.release()
         return reports
+
+    def _prepare_trace(self, trace: Trace) -> Optional[_PreparedTrace]:
+        """Lazy per-trace representations, or None when a referenced signal
+        is missing from the trace (the whole-trace oracle fallback, as
+        before -- probed cheaply up front so the lazy builds cannot fail)."""
+        if not trace.has_signals(self._names):
+            return None
+        return _PreparedTrace(self, trace)
 
     def _trace_rows(self, trace: Trace) -> Optional[tuple[list, list]]:
         """The referenced signals' (value, xmask) columns, one row per cycle.
@@ -336,7 +425,7 @@ class CompiledAssertionChecker:
         self, lowered: _LoweredAssertion, outcome: AssertionOutcome,
         rows_v: list, rows_x: list, n: int
     ) -> AssertionOutcome:
-        spec = lowered.spec
+        """Per-cycle closure path: series via one closure call per cycle."""
         lowered.registry.fill(rows_v, rows_x, n)
         cell = lowered.registry.cycle_cell
 
@@ -368,7 +457,37 @@ class CompiledAssertionChecker:
                 if disabled[c]:
                     running += 1
                 prefix[c + 1] = running
+        return self._walk_attempts(lowered, outcome, series, disabled, prefix, n)
 
+    def _evaluate_vector(
+        self, lowered: _LoweredAssertion, outcome: AssertionOutcome,
+        cols: tuple[list, list], n: int
+    ) -> AssertionOutcome:
+        """Vectorised path: series as whole-trace numpy array expressions."""
+        cols_v, cols_x = cols
+        series: list[list[Optional[bool]]] = []
+        disabled: Optional[list[bool]] = None
+        prefix: Optional[list[int]] = None
+        for index, (fn, _width) in enumerate(lowered.vector_fns):
+            values, xmasks = fn(cols_v, cols_x, n)
+            values = sva_vector.as_column(values, n)
+            xmasks = sva_vector.as_column(xmasks, n)
+            series.append(sva_vector.tri_column(values, xmasks))
+            if index == lowered.disable_index:
+                # Truthy == the tri-state True the closure path tests for.
+                lanes = values != 0
+                disabled = lanes.tolist()
+                prefix = [0]
+                prefix.extend(np.cumsum(lanes, dtype=np.int64).tolist())
+        return self._walk_attempts(lowered, outcome, series, disabled, prefix, n)
+
+    def _walk_attempts(
+        self, lowered: _LoweredAssertion, outcome: AssertionOutcome,
+        series: list[list[Optional[bool]]], disabled: Optional[list[bool]],
+        prefix: Optional[list[int]], n: int
+    ) -> AssertionOutcome:
+        """The attempt walk shared by both series backends: pure indexing."""
+        spec = lowered.spec
         antecedent = lowered.antecedent
         consequent = lowered.consequent
         overlapping = lowered.overlapping
@@ -443,6 +562,8 @@ class CompiledAssertionChecker:
         return outcome
 
 
-def compile_assertions(design: ElaboratedDesign, strict: bool = False) -> CompiledAssertionChecker:
+def compile_assertions(
+    design: ElaboratedDesign, strict: bool = False, vectorise: bool = True
+) -> CompiledAssertionChecker:
     """Lower ``design``'s assertions for the compiled checker backend."""
-    return CompiledAssertionChecker(design, strict=strict)
+    return CompiledAssertionChecker(design, strict=strict, vectorise=vectorise)

@@ -42,11 +42,15 @@ def outcome_fields(outcome):
 def assert_reports_identical(design, trace):
     interp = AssertionChecker(design).check(trace)
     compiled = CheckerBackend(design, backend="compiled").check(trace)
-    assert sorted(interp.outcomes) == sorted(compiled.outcomes)
+    closure = CompiledAssertionChecker(design, vectorise=False).check(trace)
+    assert sorted(interp.outcomes) == sorted(compiled.outcomes) == sorted(closure.outcomes)
     for name in interp.outcomes:
         assert outcome_fields(interp.outcomes[name]) == outcome_fields(
             compiled.outcomes[name]
         ), f"assertion '{name}' diverges between checker backends"
+        assert outcome_fields(interp.outcomes[name]) == outcome_fields(
+            closure.outcomes[name]
+        ), f"assertion '{name}' diverges on the closure (vectorise=False) path"
 
 
 def augmented_design(family, prefix="dut"):
@@ -78,7 +82,7 @@ def test_family_outcomes_identical(family):
     assert_reports_identical(design, Simulator(design).run(vectors))
 
 
-@pytest.mark.parametrize("backend", ["compiled", "interp"])
+@pytest.mark.parametrize("backend", ["compiled", "closure", "interp"])
 def test_check_batch_matches_per_trace_check(backend):
     """One batched pass over several seed traces (the verifier's shape) must
     be outcome-identical to checking each trace individually, in order."""
@@ -87,7 +91,10 @@ def test_check_batch_matches_per_trace_check(backend):
         _, design = augmented_design(family, prefix=f"batch_{backend}")
         if design is None or not design.assertions:
             continue
-        checker = CheckerBackend(design, backend=backend)
+        if backend == "closure":
+            checker = CompiledAssertionChecker(design, vectorise=False)
+        else:
+            checker = CheckerBackend(design, backend=backend)
         traces = [
             Simulator(design).run(
                 StimulusGenerator(design, seed=40 + index).mixed_stimulus(random_cycles=24).vectors

@@ -1,0 +1,279 @@
+"""Tests for the columnar trace layer and the vectorised checking engine.
+
+Three contracts are pinned here:
+
+* ``Trace.columns()`` / ``DiffTrace.columns()`` (diff-derived and
+  simulator-recorded) agree element-for-element with the row-oriented
+  sampled values, and a quiet design's DiffTrace builds its columns
+  without materialising per-cycle sample dicts;
+* the vectorised checker path is outcome-identical to the per-cycle
+  closure path and the tree-walking oracle across every template family
+  and for injected mutants (including failing reports), and actually
+  engages (this suite fails if the vector lowering silently refuses
+  everything);
+* the ``Trace.render`` fixes: no name truncation, clear error for unknown
+  names.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bugs.injector import BugInjector, InjectionConfig
+from repro.corpus.templates import all_families
+from repro.hdl.lint import compile_source
+from repro.sim.engine import SimulationError, Simulator, SimulatorOptions
+from repro.sim.stimulus import StimulusGenerator
+from repro.sim.trace import INT64_COLUMN_MAX_WIDTH
+from repro.sva.checker import AssertionChecker
+from repro.sva.compile import CompiledAssertionChecker
+from repro.sva.generator import insert_assertions, mine_assertions, template_assertion_blocks
+
+FAMILIES = all_families()
+
+
+def augmented_design(family, prefix="col"):
+    artifact = family.build(f"{prefix}_{family.name}", **family.parameter_grid[0])
+    golden = compile_source(artifact.source)
+    if not golden.ok or golden.design is None:
+        return None, None
+    mining_trace = Simulator(golden.design).run(
+        StimulusGenerator(golden.design, seed=7).mixed_stimulus(random_cycles=24).vectors
+    )
+    candidates = template_assertion_blocks(artifact.template_svas, artifact.family)
+    candidates.extend(mine_assertions(golden.design, mining_trace, max_assertions=5))
+    if not candidates:
+        return None, None
+    augmented = insert_assertions(artifact.source, candidates)
+    result = compile_source(augmented)
+    if not result.ok or result.design is None:
+        return None, None
+    return augmented, result.design
+
+
+def simulate(design, seed=11, cycles=24, record_columns=False):
+    vectors = StimulusGenerator(design, seed=seed).mixed_stimulus(random_cycles=cycles).vectors
+    options = SimulatorOptions(record_columns=record_columns)
+    return Simulator(design, options).run(vectors)
+
+
+def assert_columns_match_samples(trace, names):
+    columns = trace.columns(names)
+    reference = trace.materialized()
+    assert columns.cycles == len(reference)
+    for name in names:
+        expected_v = [s.sampled(name).value for s in reference.samples]
+        expected_x = [s.sampled(name).xmask for s in reference.samples]
+        assert columns.values[name].tolist() == expected_v, name
+        assert columns.xmasks[name].tolist() == expected_x, name
+        assert columns.widths[name] == reference.samples[0].sampled(name).width
+
+
+# --------------------------------------------------------------------------- #
+# columns differential
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("family", FAMILIES[:10], ids=[f.name for f in FAMILIES[:10]])
+def test_columns_match_sampled_values(family):
+    """Diff-derived, recorded and dict-backed columns all equal the samples."""
+    _, design = augmented_design(family)
+    if design is None:
+        pytest.skip("family yields no augmented design")
+    names = sorted(design.signals)
+    # DiffTrace, columns derived from the recorded diffs.
+    diff_trace = simulate(design)
+    assert_columns_match_samples(diff_trace, names)
+    # DiffTrace with simulator-recorded column events.
+    recorded_trace = simulate(design, record_columns=True)
+    assert recorded_trace.records_columns
+    assert_columns_match_samples(recorded_trace, names)
+    # Fully materialised dict-backed trace.
+    assert_columns_match_samples(simulate(design).materialized(), names)
+
+
+def test_recorded_and_derived_columns_identical():
+    _, design = augmented_design(FAMILIES[0], prefix="rec")
+    if design is None:
+        pytest.skip("family yields no augmented design")
+    names = sorted(design.signals)
+    derived = simulate(design).columns(names)
+    recorded = simulate(design, record_columns=True).columns(names)
+    for name in names:
+        assert np.array_equal(derived.values[name], recorded.values[name])
+        assert np.array_equal(derived.xmasks[name], recorded.xmasks[name])
+
+
+QUIET_SOURCE = """
+module quiet(input wire clk, input wire [3:0] a, output reg [3:0] b);
+    always @(posedge clk) begin
+        b <= a;
+    end
+endmodule
+"""
+
+
+def test_difftrace_columns_do_not_densify():
+    """A quiet design's columns must come from diffs, not materialised dicts."""
+    design = compile_source(QUIET_SOURCE).design
+    assert design is not None
+    # Constant input: after the first cycle nothing changes.
+    trace = Simulator(design).run([{"a": 5}] * 40)
+    columns = trace.columns(["a", "b"])
+    assert trace._cache == [], "columns() materialised per-cycle samples"
+    assert columns.values["a"].tolist() == [5] * 40
+    assert columns.values["b"].tolist()[2:] == [5] * 38
+    # The recorded-buffer path must not densify either.
+    recorded = Simulator(design, SimulatorOptions(record_columns=True)).run([{"a": 5}] * 40)
+    recorded_columns = recorded.columns(["b"])
+    assert recorded._cache == []
+    assert recorded_columns.values["b"].tolist() == columns.values["b"].tolist()
+
+
+def test_columns_unknown_signal_raises_clear_error():
+    design = compile_source(QUIET_SOURCE).design
+    trace = Simulator(design).run([{"a": 1}] * 4)
+    with pytest.raises(KeyError, match="not in trace"):
+        trace.columns(["a", "ghost"])
+    with pytest.raises(KeyError, match="no column"):
+        trace.columns(["a"]).signal("b")
+
+
+WIDE_SOURCE = """
+module wide(input wire clk, input wire [70:0] a, output reg [70:0] b);
+    always @(posedge clk) begin
+        b <= a;
+    end
+    property p_follow;
+        @(posedge clk) 1'b1 |-> $past(a) == b;
+    endproperty
+    a_follow: assert property (p_follow);
+endmodule
+"""
+
+
+def test_wide_signals_use_object_columns_and_closure_fallback():
+    """>63-bit signals degrade to object columns; the checker falls back."""
+    design = compile_source(WIDE_SOURCE).design
+    assert design is not None
+    big = (1 << 70) | 3
+    trace = Simulator(design).run([{"a": big}] * 8)
+    columns = trace.columns(["a"])
+    assert columns.values["a"].dtype == object
+    assert columns.values["a"].tolist() == [big] * 8
+    checker = CompiledAssertionChecker(design)
+    lowered = list(checker._lowered.values())
+    assert all(entry is not None and entry.vector_fns is None for entry in lowered)
+    report = checker.check(trace)
+    oracle = AssertionChecker(design).check(trace)
+    assert (
+        report.outcomes["a_follow"].comparison_key()
+        == oracle.outcomes["a_follow"].comparison_key()
+    )
+    assert report.outcomes["a_follow"].passes > 0
+
+
+# --------------------------------------------------------------------------- #
+# vectorised checker differential
+# --------------------------------------------------------------------------- #
+
+
+def assert_three_way_identical(design, trace):
+    oracle = AssertionChecker(design).check(trace)
+    vectorised = CompiledAssertionChecker(design).check(trace)
+    closure = CompiledAssertionChecker(design, vectorise=False).check(trace)
+    assert sorted(oracle.outcomes) == sorted(vectorised.outcomes) == sorted(closure.outcomes)
+    for name in oracle.outcomes:
+        a = oracle.outcomes[name].comparison_key()
+        b = vectorised.outcomes[name].comparison_key()
+        c = closure.outcomes[name].comparison_key()
+        assert a == b == c, f"assertion '{name}' diverges between checking paths"
+
+
+@pytest.mark.parametrize("family", FAMILIES, ids=[f.name for f in FAMILIES])
+def test_vectorised_outcomes_identical(family):
+    _, design = augmented_design(family, prefix="vec")
+    if design is None or not design.assertions:
+        pytest.skip("family yields no checkable assertions")
+    checker = CompiledAssertionChecker(design)
+    vectorised = [
+        entry for entry in checker._lowered.values()
+        if entry is not None and entry.vector_fns is not None
+    ]
+    assert vectorised, "vector lowering refused every assertion of the family"
+    # The vectorised path must engage on both diff-backed and dict-backed
+    # traces (different columns() implementations).
+    diff_trace = simulate(design, seed=12, cycles=32, record_columns=True)
+    assert_three_way_identical(design, diff_trace)
+    assert_three_way_identical(design, simulate(design, seed=13, cycles=32).materialized())
+
+
+def test_vectorised_mutant_outcomes_identical():
+    """Buggy designs (where assertions actually fail) must also agree."""
+    injector = BugInjector(InjectionConfig(seed=23, max_bugs_per_design=2))
+    checked = failing = 0
+    for family in FAMILIES[:10]:
+        source, design = augmented_design(family, prefix="vmut")
+        if design is None or not design.assertions:
+            continue
+        for bug in injector.inject(f"vmut_{family.name}", source, design):
+            buggy = compile_source(bug.buggy_source)
+            if not buggy.ok or buggy.design is None:
+                continue
+            try:
+                trace = simulate(buggy.design, seed=9, record_columns=True)
+            except SimulationError:
+                continue
+            assert_three_way_identical(buggy.design, trace)
+            checked += 1
+            if not AssertionChecker(buggy.design).check(trace).passed:
+                failing += 1
+    assert checked >= 5
+    assert failing >= 1, "no mutant produced a failing report; test lost its teeth"
+
+
+def test_check_assertion_public_entry_point():
+    """The oracle's single-assertion entry point is public and consistent."""
+    _, design = augmented_design(FAMILIES[0], prefix="pub")
+    if design is None or not design.assertions:
+        pytest.skip("family yields no checkable assertions")
+    trace = simulate(design)
+    oracle = AssertionChecker(design)
+    spec = design.assertions[0]
+    outcome = oracle.check_assertion(spec, trace)
+    assert outcome.comparison_key() == oracle.check(trace).outcomes[spec.name].comparison_key()
+
+
+# --------------------------------------------------------------------------- #
+# render fixes
+# --------------------------------------------------------------------------- #
+
+
+LONG_NAMES_SOURCE = """
+module longnames(
+    input wire clk,
+    input wire [3:0] a_very_long_signal_name_one,
+    output reg [3:0] a_very_long_signal_name_two
+);
+    always @(posedge clk) begin
+        a_very_long_signal_name_two <= a_very_long_signal_name_one;
+    end
+endmodule
+"""
+
+
+def test_render_does_not_truncate_long_names():
+    design = compile_source(LONG_NAMES_SOURCE).design
+    trace = Simulator(design).run([{"a_very_long_signal_name_one": 3}] * 4)
+    rendered = trace.materialized().render(
+        ["a_very_long_signal_name_one", "a_very_long_signal_name_two"]
+    )
+    # Both full names must be present and therefore distinguishable.
+    assert "a_very_long_signal_name_one" in rendered
+    assert "a_very_long_signal_name_two" in rendered
+
+
+def test_render_unknown_name_raises_value_error():
+    design = compile_source(LONG_NAMES_SOURCE).design
+    trace = Simulator(design).run([{"a_very_long_signal_name_one": 3}] * 4)
+    with pytest.raises(ValueError, match="cannot render"):
+        trace.materialized().render(["no_such_signal"])
