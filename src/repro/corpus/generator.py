@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.corpus.corruptor import CorruptedSample, SyntaxCorruptor
 from repro.corpus.metadata import DesignArtifact, DesignFamily
 from repro.corpus.spec import build_spec
 from repro.corpus.templates import all_families, family_by_name
-from repro.runtime import run_jobs
+from repro.runtime import FaultPlan, run_jobs
 
 
 @dataclass
@@ -29,6 +30,14 @@ class CorpusConfig:
     jitter_widths: bool = True
     #: Worker-pool size for the per-design build fan-out; <= 1 runs in-process.
     workers: int = 1
+    #: Failure policy for build jobs: "raise" aborts on the first failure
+    #: (historical behaviour), "quarantine" drops the failed design into
+    #: :attr:`Corpus.skipped` and keeps generating.
+    on_error: str = "raise"
+    #: Per-design build timeout in seconds (None: unlimited).
+    job_timeout: Optional[float] = None
+    #: Executions charged to a build job before it is quarantined/raised.
+    max_attempts: int = 1
 
     def corrupted_count(self) -> int:
         return max(1, int(self.design_count * self.corrupted_fraction))
@@ -56,6 +65,9 @@ class Corpus:
 
     samples: list[CorpusSample] = field(default_factory=list)
     corrupted: list[tuple[CorpusSample, CorruptedSample]] = field(default_factory=list)
+    #: Designs whose build job was quarantined (``on_error="quarantine"``):
+    #: one record per lost design with the structured failure summary.
+    skipped: list[dict] = field(default_factory=list)
 
     def by_family(self) -> dict[str, list[CorpusSample]]:
         grouped: dict[str, list[CorpusSample]] = {}
@@ -80,10 +92,12 @@ class CorpusGenerator:
         "register_file": 2,
     }
 
-    def __init__(self, config: CorpusConfig | None = None):
+    def __init__(self, config: CorpusConfig | None = None, fault_plan: FaultPlan | None = None):
         self._config = config or CorpusConfig()
         self._random = random.Random(self._config.seed)
         self._families = all_families()
+        #: Deterministic fault injection for the build jobs (tests only).
+        self._fault_plan = fault_plan
 
     @property
     def families(self) -> list[DesignFamily]:
@@ -105,7 +119,31 @@ class CorpusGenerator:
              self._random.randint(0, 1_000_000))
             for index, (family, params) in enumerate(instances)
         ]
-        corpus.samples = run_jobs(jobs, _build_sample_job, workers=self._config.workers)
+        if self._config.on_error == "quarantine":
+            outcomes = run_jobs(
+                jobs,
+                _build_sample_job,
+                workers=self._config.workers,
+                on_error="quarantine",
+                timeout=self._config.job_timeout,
+                max_attempts=self._config.max_attempts,
+                fault_plan=self._fault_plan,
+            )
+            corpus.samples = [outcome.result for outcome in outcomes if outcome.ok]
+            corpus.skipped = [
+                {"stage": "corpus", "name": job[2], **outcome.failure.summary()}
+                for job, outcome in zip(jobs, outcomes)
+                if not outcome.ok
+            ]
+        else:
+            corpus.samples = run_jobs(
+                jobs,
+                _build_sample_job,
+                workers=self._config.workers,
+                timeout=self._config.job_timeout,
+                max_attempts=self._config.max_attempts,
+                fault_plan=self._fault_plan,
+            )
         corruptor = SyntaxCorruptor(seed=self._config.seed + 1)
         victims = self._random.sample(
             corpus.samples, min(self._config.corrupted_count(), len(corpus.samples))

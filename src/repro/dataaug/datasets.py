@@ -142,6 +142,10 @@ class DatasetStatistics:
     verilog_bug_entries: int = 0
     cot_generated: int = 0
     cot_valid: int = 0
+    #: Quarantined-job records (``on_error="quarantine"`` only): one JSON-safe
+    #: dict per skipped job with ``stage``/``name`` and the failure summary.
+    #: Empty in the default ``on_error="raise"`` mode.
+    skipped_jobs: list[dict] = field(default_factory=list)
 
     @property
     def cot_validity_rate(self) -> float:

@@ -26,6 +26,7 @@ from repro.dataaug.datasets import AugmentedDatasets, DatasetStatistics, SvaBugE
 from repro.dataaug.stage1 import run_stage1
 from repro.dataaug.stage2 import Stage2Config, Stage2Runner
 from repro.dataaug.stage3 import Stage3Config, run_stage3
+from repro.runtime import FaultPlan
 
 
 @dataclass
@@ -46,6 +47,14 @@ class PipelineConfig:
     #: Optional content-addressed result cache directory (threaded to the
     #: Stage-2 per-sample cache): re-runs only process what changed.
     cache_dir: Optional[str] = None
+    #: Pipeline-wide failure policy, threaded to every stage: "raise" aborts
+    #: on the first job failure (historical behaviour), "quarantine" skips
+    #: failed jobs and reports them in ``statistics.skipped_jobs``.
+    on_error: str = "raise"
+    #: Pipeline-wide per-job timeout in seconds (None: unlimited).
+    job_timeout: Optional[float] = None
+    #: Pipeline-wide retry budget per job.
+    max_attempts: int = 1
 
     @classmethod
     def small(
@@ -90,9 +99,15 @@ class DataAugmentationPipeline:
     ``stage3``) -- telemetry only, never part of the datasets.
     """
 
-    def __init__(self, config: Optional[PipelineConfig] = None):
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         self._config = config or PipelineConfig()
         self.stage_timings: dict[str, float] = {}
+        #: Deterministic fault injection threaded into every stage (tests only).
+        self._fault_plan = fault_plan
 
     def _effective_configs(self) -> tuple[CorpusConfig, Stage2Config, Stage3Config, int]:
         """Per-stage configs with the pipeline-level knobs threaded through."""
@@ -106,6 +121,15 @@ class DataAugmentationPipeline:
             stage3_config = replace(stage3_config, workers=config.workers)
         if config.cache_dir is not None and stage2_config.cache_dir is None:
             stage2_config = replace(stage2_config, cache_dir=str(config.cache_dir))
+        fault_knobs = dict(
+            on_error=config.on_error,
+            job_timeout=config.job_timeout,
+            max_attempts=config.max_attempts,
+        )
+        if config.on_error != "raise" or config.job_timeout is not None or config.max_attempts != 1:
+            corpus_config = replace(corpus_config, **fault_knobs)
+            stage2_config = replace(stage2_config, **fault_knobs)
+            stage3_config = replace(stage3_config, **fault_knobs)
         stage1_workers = config.workers if config.workers is not None else 1
         return corpus_config, stage2_config, stage3_config, stage1_workers
 
@@ -125,22 +149,41 @@ class DataAugmentationPipeline:
             return value
 
         corpus = corpus or timed(
-            "corpus", lambda: CorpusGenerator(corpus_config).generate()
+            "corpus",
+            lambda: CorpusGenerator(corpus_config, fault_plan=self._fault_plan).generate(),
         )
         statistics.corpus_samples = len(corpus.samples) + len(corpus.corrupted)
+        statistics.skipped_jobs.extend(corpus.skipped)
 
-        stage1 = timed("stage1", lambda: run_stage1(corpus, workers=stage1_workers))
+        stage1 = timed(
+            "stage1",
+            lambda: run_stage1(
+                corpus,
+                workers=stage1_workers,
+                on_error=config.on_error,
+                job_timeout=config.job_timeout,
+                max_attempts=config.max_attempts,
+                fault_plan=self._fault_plan,
+            ),
+        )
         statistics.filtered_out = stage1.filtered_out
         statistics.compile_failures = stage1.compile_failures
         statistics.verilog_pt_entries = len(stage1.verilog_pt)
+        statistics.skipped_jobs.extend(stage1.skipped)
 
-        stage2 = timed("stage2", lambda: Stage2Runner(stage2_config).run(stage1.compiled))
+        stage2 = timed(
+            "stage2",
+            lambda: Stage2Runner(stage2_config, fault_plan=self._fault_plan).run(
+                stage1.compiled
+            ),
+        )
         statistics.candidate_svas = stage2.candidate_svas
         statistics.validated_svas = stage2.validated_svas
         statistics.injected_bugs = stage2.injected_bugs
         statistics.bugs_rejected_not_compiling = stage2.rejected_not_compiling
         statistics.sva_bug_entries = len(stage2.sva_bug)
         statistics.verilog_bug_entries = len(stage2.verilog_bug)
+        statistics.skipped_jobs.extend(stage2.skipped)
 
         train_entries, eval_entries = timed(
             "split",
@@ -149,11 +192,13 @@ class DataAugmentationPipeline:
             ),
         )
 
-        generated, valid = timed(
-            "stage3", lambda: run_stage3(train_entries, stage3_config)
+        generated, valid, stage3_skipped = timed(
+            "stage3",
+            lambda: run_stage3(train_entries, stage3_config, fault_plan=self._fault_plan),
         )
         statistics.cot_generated = generated
         statistics.cot_valid = valid
+        statistics.skipped_jobs.extend(stage3_skipped)
 
         self.stage_timings = timings
         return AugmentedDatasets(

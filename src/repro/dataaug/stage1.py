@@ -19,7 +19,7 @@ from repro.corpus.corruptor import CorruptedSample
 from repro.dataaug.datasets import VerilogPTEntry
 from repro.hdl.lint import compile_source
 from repro.hdl.source import normalize_line
-from repro.runtime import run_jobs
+from repro.runtime import FaultPlan, run_jobs
 
 
 @dataclass
@@ -30,6 +30,9 @@ class Stage1Result:
     verilog_pt: list[VerilogPTEntry] = field(default_factory=list)
     filtered_out: int = 0
     compile_failures: int = 0
+    #: Samples whose check job was quarantined (``on_error="quarantine"``):
+    #: excluded from every downstream split, surfaced in pipeline stats.
+    skipped: list[dict] = field(default_factory=list)
 
 
 def has_module_envelope(source: str) -> bool:
@@ -79,13 +82,22 @@ def _check_sample_job(source: str) -> dict:
     }
 
 
-def run_stage1(corpus: Corpus, workers: int = 1) -> Stage1Result:
+def run_stage1(
+    corpus: Corpus,
+    workers: int = 1,
+    on_error: str = "raise",
+    job_timeout: float | None = None,
+    max_attempts: int = 1,
+    fault_plan: FaultPlan | None = None,
+) -> Stage1Result:
     """Run Stage 1 over a generated corpus.
 
     The per-sample work (filtering facts + the compile check, the stage's
     cost) fans out through :func:`repro.runtime.run_jobs`; deduplication and
     routing fold the results serially in corpus order, so the output is
-    byte-identical for any worker count.
+    byte-identical for any worker count.  With ``on_error="quarantine"``, a
+    sample whose check job fails is skipped (recorded in
+    :attr:`Stage1Result.skipped`) instead of aborting the stage.
     """
     result = Stage1Result()
     seen: set[str] = set()
@@ -97,10 +109,29 @@ def run_stage1(corpus: Corpus, workers: int = 1) -> Stage1Result:
         (sample, corrupted.source, corrupted) for sample, corrupted in corpus.corrupted
     )
     checks = run_jobs(
-        [source for _, source, _ in considered], _check_sample_job, workers=workers
+        [source for _, source, _ in considered],
+        _check_sample_job,
+        workers=workers,
+        on_error=on_error,
+        timeout=job_timeout,
+        max_attempts=max_attempts,
+        fault_plan=fault_plan,
     )
+    if on_error == "quarantine":
+        quarantined = checks
+        checks = []
+        for (sample, _source, _corruption), outcome in zip(considered, quarantined):
+            if outcome.ok:
+                checks.append(outcome.result)
+            else:
+                checks.append(None)
+                result.skipped.append(
+                    {"stage": "stage1", "name": sample.name, **outcome.failure.summary()}
+                )
 
     for (sample, source, corruption), check in zip(considered, checks):
+        if check is None:  # quarantined above: the sample is simply skipped
+            continue
         if check["filtered"]:
             # Truncated/garbled samples can lose their envelope entirely; they
             # still carry structural value, so keep them for pretraining when a

@@ -27,7 +27,14 @@ from repro.corpus.generator import CorpusSample
 from repro.dataaug.datasets import SvaBugEntry, VerilogBugEntry
 from repro.hdl.elaborate import ElaboratedDesign
 from repro.hdl.lint import compile_source
-from repro.runtime import ResultCache, content_key, default_workers, derive_seed, run_jobs
+from repro.runtime import (
+    FaultPlan,
+    ResultCache,
+    content_key,
+    default_workers,
+    derive_seed,
+    run_jobs,
+)
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stimulus import StimulusGenerator
 from repro.sva.checker import check_assertions
@@ -62,12 +69,24 @@ class Stage2Config:
     #: Optional content-addressed result cache directory: per-sample results
     #: are persisted so re-runs only process samples whose inputs changed.
     cache_dir: Optional[str] = None
+    #: Failure policy for per-sample jobs: "raise" aborts the stage on the
+    #: first failure (historical behaviour), "quarantine" records the sample
+    #: in :attr:`Stage2Result.skipped` and keeps going.
+    on_error: str = "raise"
+    #: Per-sample job timeout in seconds (None: unlimited).
+    job_timeout: Optional[float] = None
+    #: Executions charged to a sample's job before it is quarantined/raised.
+    max_attempts: int = 1
 
     def content_fingerprint(self) -> str:
         """Every config field that can change a per-sample result.
 
         Worker count and cache location deliberately excluded -- they can
-        only change wall time, never output.
+        only change wall time, never output.  ``job_timeout`` and
+        ``max_attempts`` are *included*: a cached-through failure record is
+        only valid for the fault-tolerance budget it was produced under
+        (``on_error`` itself only changes aggregation, never a per-sample
+        result, so it stays out).
         """
         return "|".join(
             str(part)
@@ -81,6 +100,8 @@ class Stage2Config:
                 self.injection.max_candidates_per_line,
                 self.injection.require_compile,
                 self.checker_backend,
+                self.job_timeout,
+                self.max_attempts,
             )
         )
 
@@ -96,6 +117,9 @@ class Stage2Result:
     injected_bugs: int = 0
     rejected_not_compiling: int = 0
     designs_without_valid_svas: int = 0
+    #: Samples whose job was quarantined (``on_error="quarantine"``): one
+    #: record per skipped sample with the structured failure summary.
+    skipped: list[dict] = field(default_factory=list)
 
     def merge(self, other: "Stage2Result") -> None:
         """Fold another (e.g. per-sample) result into this one, in order."""
@@ -106,6 +130,7 @@ class Stage2Result:
         self.injected_bugs += other.injected_bugs
         self.rejected_not_compiling += other.rejected_not_compiling
         self.designs_without_valid_svas += other.designs_without_valid_svas
+        self.skipped.extend(other.skipped)
 
     def to_dict(self) -> dict:
         """JSON-safe form, used by the runtime's per-sample result cache."""
@@ -117,6 +142,7 @@ class Stage2Result:
             "injected_bugs": self.injected_bugs,
             "rejected_not_compiling": self.rejected_not_compiling,
             "designs_without_valid_svas": self.designs_without_valid_svas,
+            "skipped": list(self.skipped),
         }
 
     @classmethod
@@ -130,6 +156,7 @@ class Stage2Result:
             injected_bugs=payload["injected_bugs"],
             rejected_not_compiling=payload["rejected_not_compiling"],
             designs_without_valid_svas=payload["designs_without_valid_svas"],
+            skipped=list(payload.get("skipped", [])),
         )
 
 
@@ -150,8 +177,12 @@ class Stage2Runner:
     serially or in parallel, and independent of sample order.
     """
 
-    def __init__(self, config: Optional[Stage2Config] = None):
+    def __init__(
+        self, config: Optional[Stage2Config] = None, fault_plan: Optional[FaultPlan] = None
+    ):
         self._config = config or Stage2Config()
+        #: Deterministic fault injection for the per-sample jobs (tests only).
+        self._fault_plan = fault_plan
 
     def _sample_injector(self, sample: CorpusSample) -> BugInjector:
         """A fresh, deterministically seeded injector for one sample."""
@@ -313,7 +344,9 @@ class Stage2Runner:
 
         Results are merged in submission order, so worker count never
         changes the output; with ``config.cache_dir`` set, per-sample
-        results are served content-addressed from disk on re-runs.
+        results are served content-addressed from disk on re-runs
+        (quarantined failures are cached through too, so warm re-runs make
+        the same skip decisions byte-for-byte).
         """
         config = self._config
         cache = ResultCache(config.cache_dir) if config.cache_dir else None
@@ -326,8 +359,21 @@ class Stage2Runner:
             key_fn=lambda sample: _sample_key(config, sample),
             encode=Stage2Result.to_dict,
             decode=Stage2Result.from_dict,
+            on_error=config.on_error,
+            timeout=config.job_timeout,
+            max_attempts=config.max_attempts,
+            fault_plan=self._fault_plan,
         )
         result = Stage2Result()
+        if config.on_error == "quarantine":
+            for sample, outcome in zip(samples, sample_results):
+                if outcome.ok:
+                    result.merge(outcome.result)
+                else:
+                    result.skipped.append(
+                        {"stage": "stage2", "name": sample.name, **outcome.failure.summary()}
+                    )
+            return result
         for sample_result in sample_results:
             result.merge(sample_result)
         return result

@@ -22,7 +22,7 @@ from typing import Optional
 
 from repro.dataaug.datasets import SvaBugEntry
 from repro.hdl.source import SourceFile, lines_equivalent, strip_comment
-from repro.runtime import derive_seed, run_jobs
+from repro.runtime import FaultPlan, derive_seed, run_jobs
 from repro.sva.logs import parse_failure_log
 
 
@@ -34,6 +34,14 @@ class Stage3Config:
     drift_probability: float = 0.25  # fraction of CoTs that reason to the wrong place
     #: Worker-pool size for the per-entry fan-out; <= 1 runs in-process.
     workers: int = 1
+    #: Failure policy for per-entry CoT jobs: "raise" aborts the stage on
+    #: the first failure (historical behaviour), "quarantine" leaves the
+    #: entry without a CoT and records it in the returned skip list.
+    on_error: str = "raise"
+    #: Per-entry job timeout in seconds (None: unlimited).
+    job_timeout: Optional[float] = None
+    #: Executions charged to an entry's job before it is quarantined/raised.
+    max_attempts: int = 1
 
 
 @dataclass
@@ -91,8 +99,12 @@ class CotGenerator:
     sharded across workers.
     """
 
-    def __init__(self, config: Optional[Stage3Config] = None):
+    def __init__(
+        self, config: Optional[Stage3Config] = None, fault_plan: Optional[FaultPlan] = None
+    ):
         self._config = config or Stage3Config()
+        #: Deterministic fault injection for the per-entry jobs (tests only).
+        self._fault_plan = fault_plan
 
     def _entry_rng(self, entry: SvaBugEntry) -> random.Random:
         return random.Random(derive_seed(self._config.seed, entry.name))
@@ -140,27 +152,54 @@ class CotGenerator:
         right_fix = lines_equivalent(draft.claimed_fix, entry.golden_line)
         return right_line and right_fix
 
-    def annotate(self, entries: list[SvaBugEntry]) -> tuple[int, int]:
+    def annotate(self, entries: list[SvaBugEntry]) -> tuple[int, int, list[dict]]:
         """Generate + validate CoTs for every entry in place.
 
         Per-entry jobs fan out through :func:`repro.runtime.run_jobs`
         (entries carry all their own state and the drift RNG is derived per
         entry), and the drafts are applied back in entry order, so the
-        annotations are byte-identical for any worker count.
+        annotations are byte-identical for any worker count.  With
+        ``on_error="quarantine"``, entries whose CoT job fails keep
+        ``cot=None``/``cot_valid=False`` and are reported in the skip list.
 
         Returns:
-            (generated_count, valid_count)
+            (generated_count, valid_count, skipped_records)
         """
+        config = self._config
         drafts = run_jobs(
-            entries, _cot_job, workers=self._config.workers, context=self._config
+            entries,
+            _cot_job,
+            workers=config.workers,
+            context=config,
+            on_error=config.on_error,
+            timeout=config.job_timeout,
+            max_attempts=config.max_attempts,
+            fault_plan=self._fault_plan,
         )
+        skipped: list[dict] = []
+        if config.on_error == "quarantine":
+            outcomes = drafts
+            drafts = []
+            for entry, outcome in zip(entries, outcomes):
+                if outcome.ok:
+                    drafts.append(outcome.result)
+                else:
+                    drafts.append(None)
+                    skipped.append(
+                        {"stage": "stage3", "name": entry.name, **outcome.failure.summary()}
+                    )
         valid = 0
-        for entry, (text, cot_valid) in zip(entries, drafts):
+        generated = 0
+        for entry, draft in zip(entries, drafts):
+            if draft is None:  # quarantined above: entry stays un-annotated
+                continue
+            text, cot_valid = draft
             entry.cot = text
             entry.cot_valid = cot_valid
+            generated += 1
             if cot_valid:
                 valid += 1
-        return len(entries), valid
+        return generated, valid, skipped
 
 
 def _cot_job(entry: SvaBugEntry, config: Stage3Config) -> tuple[str, bool]:
@@ -170,6 +209,10 @@ def _cot_job(entry: SvaBugEntry, config: Stage3Config) -> tuple[str, bool]:
     return draft.text, generator.validate(entry, draft)
 
 
-def run_stage3(entries: list[SvaBugEntry], config: Optional[Stage3Config] = None) -> tuple[int, int]:
+def run_stage3(
+    entries: list[SvaBugEntry],
+    config: Optional[Stage3Config] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> tuple[int, int, list[dict]]:
     """Convenience wrapper: annotate ``entries`` with CoTs and return the counts."""
-    return CotGenerator(config).annotate(entries)
+    return CotGenerator(config, fault_plan=fault_plan).annotate(entries)

@@ -20,7 +20,7 @@ from typing import Optional
 
 from repro.eval.cache import VerdictCache
 from repro.eval.verifier import CandidateFix, RepairVerdict, SemanticVerifier, VerifierConfig
-from repro.runtime import run_jobs
+from repro.runtime import FaultPlan, JobFailure, run_jobs
 
 
 @dataclass(frozen=True)
@@ -63,14 +63,54 @@ def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
     return result
 
 
+def _infra_shard(job: VerificationJob, failure: JobFailure) -> ShardResult:
+    """A quarantined job's stand-in shard: one ``infra_error`` verdict per fix.
+
+    ``infra_error`` means the harness infrastructure failed (worker crash,
+    hang, unexpected exception), not that the repair failed verification --
+    scoring excludes these cases from pass@k denominators.
+    """
+    detail = f"{failure.exception_type}: {failure.message} (phase={failure.phase})"
+    shard = ShardResult(case_name=job.case_name)
+    shard.verdicts = [
+        RepairVerdict(
+            status="infra_error", seeds=job.seeds, cycles=job.cycles, detail=detail
+        )
+        for _ in job.fixes
+    ]
+    return shard
+
+
 def run_verification_jobs(
     jobs: list[VerificationJob],
     workers: int = 1,
     cache_dir: Optional[Path | str] = None,
+    on_error: str = "raise",
+    job_timeout: Optional[float] = None,
+    max_attempts: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> list[ShardResult]:
     """Verify every job through the shared runtime executor.
 
-    Returns one :class:`ShardResult` per job, in job order.
+    Returns one :class:`ShardResult` per job, in job order.  With
+    ``on_error="quarantine"``, a job whose worker fails (after
+    ``max_attempts`` executions, or by exceeding ``job_timeout``) yields a
+    shard of ``infra_error`` verdicts instead of aborting the run.
     """
     cache_arg = str(cache_dir) if cache_dir is not None else None
-    return run_jobs(jobs, _run_job, workers=workers, context=cache_arg)
+    results = run_jobs(
+        jobs,
+        _run_job,
+        workers=workers,
+        context=cache_arg,
+        on_error=on_error,
+        timeout=job_timeout,
+        max_attempts=max_attempts,
+        fault_plan=fault_plan,
+    )
+    if on_error != "quarantine":
+        return results
+    return [
+        outcome.result if outcome.ok else _infra_shard(job, outcome.failure)
+        for job, outcome in zip(jobs, results)
+    ]

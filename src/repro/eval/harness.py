@@ -50,6 +50,14 @@ class EvalConfig:
     #: ("auto" | "compiled" | "interp"); outcomes are backend-independent,
     #: so this only changes wall time (or forces the differential oracle).
     checker_backend: str = "auto"
+    #: Failure policy for verification jobs: "raise" aborts the run on the
+    #: first infrastructure failure (historical behaviour), "quarantine"
+    #: records ``infra_error`` verdicts for the affected case and keeps going.
+    on_error: str = "raise"
+    #: Per-case verification timeout in seconds (None: unlimited).
+    job_timeout: Optional[float] = None
+    #: Executions charged to a case's job before it is quarantined/raised.
+    max_attempts: int = 1
 
     @property
     def k(self) -> int:
@@ -90,6 +98,17 @@ class CaseResult:
     candidates: list[CandidateOutcome] = field(default_factory=list)
 
     @property
+    def infra_error(self) -> bool:
+        """True when verification infrastructure failed for this case.
+
+        Such a case says nothing about the engine, so scoring drops it from
+        every pass@k denominator (the count is still reported).
+        """
+        return any(
+            candidate.verdict.status == "infra_error" for candidate in self.candidates
+        )
+
+    @property
     def first_pass_rank(self) -> Optional[int]:
         """Rank of the best candidate that *non-vacuously* passes.
 
@@ -121,10 +140,11 @@ class CaseResult:
 
 
 def _pass_rates(cases: Sequence[CaseResult], ks: Sequence[int]) -> dict[str, float]:
-    if not cases:
+    scored = [case for case in cases if not case.infra_error]
+    if not scored:
         return {f"pass@{k}": 0.0 for k in ks}
     return {
-        f"pass@{k}": round(sum(case.passed_at(k) for case in cases) / len(cases), 4)
+        f"pass@{k}": round(sum(case.passed_at(k) for case in scored) / len(scored), 4)
         for k in ks
     }
 
@@ -175,6 +195,7 @@ class EvalReport:
             "schema": "repro_eval/v1",
             "engine": self.engine,
             "cases": len(self.cases),
+            "infra_error_cases": sum(case.infra_error for case in self.cases),
             "candidates_verified": sum(len(case.candidates) for case in self.cases),
             **self.pass_rates,
             "verdicts": self.verdict_histogram(),
@@ -187,8 +208,10 @@ class EvalReport:
 class EvalHarness:
     """Evaluates repair engines on held-out SVA-Bug entries."""
 
-    def __init__(self, config: Optional[EvalConfig] = None):
+    def __init__(self, config: Optional[EvalConfig] = None, fault_plan=None):
         self.config = config or EvalConfig()
+        #: Deterministic fault injection for verification jobs (tests only).
+        self._fault_plan = fault_plan
 
     def _case_seed(self, name: str) -> int:
         return (zlib.crc32(name.encode()) ^ self.config.seed) & 0x7FFFFFFF
@@ -248,7 +271,15 @@ class EvalHarness:
                 )
             )
 
-        shards = run_verification_jobs(jobs, workers=config.workers, cache_dir=config.cache_dir)
+        shards = run_verification_jobs(
+            jobs,
+            workers=config.workers,
+            cache_dir=config.cache_dir,
+            on_error=config.on_error,
+            job_timeout=config.job_timeout,
+            max_attempts=config.max_attempts,
+            fault_plan=self._fault_plan,
+        )
 
         report = EvalReport(engine=engine.name, ks=config.ks)
         for skeleton, responses, shard in zip(skeletons, responses_per_case, shards):

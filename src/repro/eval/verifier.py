@@ -69,7 +69,12 @@ class CandidateFix:
 class RepairVerdict:
     """Structured outcome of verifying one candidate fix."""
 
-    status: str  # "pass" | "compile_fail" | "sim_error" | "assertion_fail" | "not_applicable"
+    #: "pass" | "compile_fail" | "sim_error" | "assertion_fail" | "not_applicable",
+    #: plus "infra_error" -- synthesised by :mod:`repro.eval.executor` when the
+    #: verification *infrastructure* failed (worker crash/hang/exception under
+    #: ``on_error="quarantine"``); unlike "sim_error" it says nothing about the
+    #: candidate repair, and scoring excludes such cases from pass@k.
+    status: str
     seeds: tuple[int, ...] = ()
     cycles: int = 0
     applied_line_number: int = 0

@@ -1,17 +1,21 @@
-"""repro.runtime -- one deterministic execution runtime for every fan-out.
+"""repro.runtime -- one deterministic, fault-tolerant runtime for every fan-out.
 
 The paper's pipeline (Fig. 2) is embarrassingly parallel end to end; this
 package is the single layer all of its workloads plug into instead of each
 hand-rolling a ``multiprocessing`` pool:
 
 * :func:`run_jobs` -- the sharded-map executor (pool lifecycle, chunking,
-  submission-order merging, optional content-addressed result caching);
+  submission-order merging, optional content-addressed result caching,
+  per-job timeouts, bounded retries, broken-pool recovery, quarantine);
 * :func:`derive_seed` -- per-job seed derivation, the invariance trick that
   makes output independent of worker count and job order;
 * :func:`default_workers` -- the one shared "how many workers" default
   (cores, capped, ``REPRO_WORKERS``-overridable);
 * :class:`ResultCache` / :func:`content_key` -- the generic on-disk cache
-  that :class:`repro.eval.cache.VerdictCache` specialises.
+  that :class:`repro.eval.cache.VerdictCache` specialises;
+* :class:`JobOutcome` / :class:`JobFailure` -- structured per-job results
+  under ``on_error="quarantine"``, and :class:`FaultPlan` -- the
+  deterministic fault-injection harness the recovery tests drive.
 
 Adopters: corpus generation (per-design jobs), Stage 1 (per-sample compile
 checks), Stage 2 (per-sample SVA validation + bug injection), Stage 3
@@ -21,16 +25,42 @@ checks), Stage 2 (per-sample SVA validation + bug injection), Stage 3
 from repro.runtime.cache import ResultCache, content_key
 from repro.runtime.executor import (
     DEFAULT_WORKER_CAP,
+    MAX_CHUNKSIZE,
     WORKERS_ENV,
+    auto_chunksize,
     default_workers,
     derive_seed,
     run_jobs,
 )
+from repro.runtime.faults import (
+    FAULT_CRASH,
+    FAULT_HANG,
+    FAULT_RAISE,
+    FaultPlan,
+    InjectedFault,
+    JobExecutionError,
+    JobFailure,
+    JobOutcome,
+    JobTimeoutError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "DEFAULT_WORKER_CAP",
-    "WORKERS_ENV",
+    "FAULT_CRASH",
+    "FAULT_HANG",
+    "FAULT_RAISE",
+    "FaultPlan",
+    "InjectedFault",
+    "JobExecutionError",
+    "JobFailure",
+    "JobOutcome",
+    "JobTimeoutError",
+    "MAX_CHUNKSIZE",
     "ResultCache",
+    "WORKERS_ENV",
+    "WorkerCrashError",
+    "auto_chunksize",
     "content_key",
     "default_workers",
     "derive_seed",

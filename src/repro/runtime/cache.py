@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -43,6 +44,29 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._sweep_stale_tmp_files()
+
+    #: A ``*.tmp<pid>`` file older than this is an orphan from a killed
+    #: writer (a live put holds its tmp file for milliseconds).
+    STALE_TMP_SECONDS = 600.0
+
+    def _sweep_stale_tmp_files(self) -> None:
+        """Remove orphaned ``*.tmp<pid>`` files left by killed writers.
+
+        A writer that dies between ``write_text`` and ``os.replace`` leaks
+        its temporary file.  Orphans are invisible to :meth:`get` and
+        :meth:`__len__` (neither matches ``*.json.tmp*``), but they would
+        accumulate forever, so each cache open sweeps them.  Only files
+        comfortably older than any live put's write-to-rename window are
+        touched, so concurrent writers in other processes are never raced.
+        """
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        for stale in self.root.glob("*/*.json.tmp*"):
+            try:
+                if stale.stat().st_mtime < cutoff:
+                    stale.unlink()
+            except OSError:
+                pass
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

@@ -1,20 +1,24 @@
-"""The deterministic sharded-map executor.
+"""The deterministic, fault-tolerant sharded-map executor.
 
 Every parallel island of the reproduction -- corpus generation, Stages 1-3
 of the augmentation pipeline, evaluation verification -- is the same shape:
 a list of independent, picklable jobs mapped through a pure worker function.
 :func:`run_jobs` is that shape, implemented once:
 
-* **pool lifecycle + chunking** -- one ``multiprocessing`` pool per call,
-  sized ``min(workers, len(jobs))``, with submission chunked to amortise
-  IPC for many small jobs;
+* **pool lifecycle + chunking** -- one process pool per call, sized
+  ``min(workers, len(jobs))``, with submission chunked (capped at
+  :data:`MAX_CHUNKSIZE`) to amortise IPC for many small jobs;
 * **submission-order merging** -- results come back in job order whatever
   the completion order, so worker count can never reorder output;
 * **derived seeding** -- workers receive no shared RNG; every job carries
   its own seed, derived from a base seed and a stable job identity via
   :func:`derive_seed` (the discipline Stage 2 pioneered);
 * **optional result caching** -- with ``cache``/``key_fn``, finished jobs
-  are stored content-addressed on disk and later runs only execute misses.
+  are stored content-addressed on disk and later runs only execute misses;
+* **fault tolerance** -- structured per-job outcomes, per-job timeouts, a
+  watchdog that detects hung or dead workers and rebuilds the pool, bounded
+  deterministic retries, and quarantine instead of run-wide aborts (see
+  `Failure handling`_ below).
 
 The determinism contract for a workload plugging in:
 
@@ -29,7 +33,42 @@ The determinism contract for a workload plugging in:
 
 Under that contract ``run_jobs(jobs, fn, workers=k)`` is byte-identical to
 ``[fn(job, context) for job in jobs]`` for every ``k``, which is what the
-pipeline's worker-count invariance tests assert end to end.
+pipeline's worker-count invariance tests assert end to end.  Retries and
+timeouts never change the value of a successful result: a retried job is
+re-executed from the same payload through the same pure function.
+
+Failure handling
+----------------
+
+``on_error`` selects what a job failure does to the run:
+
+* ``"raise"`` (the default -- existing callers are unchanged): the first
+  job that exhausts its attempts aborts the run.  The original worker
+  exception is re-raised when it survived pickling; failures with no
+  exception surface as :class:`~repro.runtime.faults.JobTimeoutError` /
+  :class:`~repro.runtime.faults.WorkerCrashError` /
+  :class:`~repro.runtime.faults.JobExecutionError`.
+* ``"quarantine"``: the run always completes.  ``run_jobs`` then returns
+  one :class:`~repro.runtime.faults.JobOutcome` per job -- successes carry
+  the result, failures carry a serialisable
+  :class:`~repro.runtime.faults.JobFailure` -- and with a cache attached,
+  failure records are cached through, so warm re-runs reproduce the same
+  quarantine decisions byte-for-byte without re-executing.
+
+Failures are detected in three phases.  A worker exception is caught in the
+worker and shipped back as data.  A per-job ``timeout`` or a worker process
+death is detected by the orchestrator's watchdog: the pool is torn down and
+rebuilt, chunks that were in flight are re-run, and jobs from a lost chunk
+are re-tried as **singleton** chunks so the next loss is attributable to
+exactly one job.  Only attributable failures are charged against
+``max_attempts`` (peers that merely shared a chunk with a hang are
+rescheduled for free); a job that keeps hanging or crashing is quarantined
+after ``max_attempts`` charges rather than retried forever.
+
+Timeout enforcement and crash recovery need process isolation, so a call
+with a ``timeout`` (or ``isolate=True``) runs through a pool even for
+``workers=1``; without either, single-worker runs stay in-process and a
+worker exception is the only recoverable failure there.
 
 One platform note: because several stage configs default their worker
 count to :func:`default_workers`, library code that reaches ``run_jobs``
@@ -43,11 +82,29 @@ default serial.
 from __future__ import annotations
 
 import os
+import pickle
+import time
+import traceback as traceback_module
+import warnings
 import zlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Any, Callable, Optional, Sequence
 
 from repro.runtime.cache import ResultCache
+from repro.runtime.faults import (
+    FAILURE_KEY,
+    PHASE_TIMEOUT,
+    PHASE_WORKER,
+    PHASE_WORKER_DEATH,
+    FaultPlan,
+    JobFailure,
+    JobOutcome,
+    raise_failure,
+)
 
 #: Hard ceiling for auto-detected worker counts: beyond this the per-process
 #: interpreter overhead dwarfs the win for this codebase's job sizes.
@@ -56,20 +113,43 @@ DEFAULT_WORKER_CAP = 8
 #: Environment variable overriding :func:`default_workers` everywhere.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Ceiling for the auto-computed chunk size.  Larger chunks amortise IPC a
+#: little further, but a chunk is also the unit of loss: its deadline is
+#: ``timeout * len(chunk)`` and a hang or worker death re-runs the whole
+#: chunk, so hundreds of jobs per chunk would ruin timeout attribution and
+#: re-run granularity.
+MAX_CHUNKSIZE = 32
+
+#: Watchdog poll interval while per-job timeouts are armed.
+_WATCHDOG_TICK_S = 0.05
+
+#: ``REPRO_WORKERS`` values already warned about (one warning per value).
+_warned_worker_overrides: set[str] = set()
+
 
 def default_workers(cap: int = DEFAULT_WORKER_CAP, env: str = WORKERS_ENV) -> int:
     """Worker count to use when the caller did not choose one.
 
     Detects the machine's cores, capped at ``cap``; the ``REPRO_WORKERS``
     environment variable overrides the detection (still capped at 1 from
-    below, so ``REPRO_WORKERS=0`` means serial, not a crash).
+    below, so ``REPRO_WORKERS=0`` means serial, not a crash).  An
+    unparseable override falls back to core detection with a one-time
+    warning naming the bad value -- silently ignoring it once hid typos
+    like ``REPRO_WORKERS=four`` behind a full fan-out.
     """
     override = os.environ.get(env, "").strip()
     if override:
         try:
             return max(1, min(int(override), cap))
         except ValueError:
-            pass
+            if override not in _warned_worker_overrides:
+                _warned_worker_overrides.add(override)
+                warnings.warn(
+                    f"ignoring unparseable {env}={override!r}; "
+                    "falling back to core detection",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return max(1, min(os.cpu_count() or 1, cap))
 
 
@@ -85,6 +165,11 @@ def derive_seed(base: int, *tokens: str) -> int:
     return base ^ zlib.crc32("\x00".join(tokens).encode())
 
 
+def auto_chunksize(pending: int, workers: int) -> int:
+    """Jobs per pool submission: a few waves per worker, capped."""
+    return max(1, min(MAX_CHUNKSIZE, pending // (workers * 4)))
+
+
 class _NoContext:
     """Sentinel for "no context given" (a class, so it pickles by reference).
 
@@ -94,14 +179,62 @@ class _NoContext:
     """
 
 
-def _pool_entry(payload: tuple[Callable, Any, Any]) -> Any:
-    """Pool entry point (module-level so it pickles)."""
-    worker_fn, job, context = payload
-    return _invoke(worker_fn, job, context)
-
-
 def _invoke(worker_fn: Callable, job: Any, context: Any) -> Any:
     return worker_fn(job) if context is _NoContext else worker_fn(job, context)
+
+
+def _execute_job(
+    worker_fn: Callable, job: Any, context: Any, fault_plan: Optional[FaultPlan]
+) -> tuple[bool, Any, Optional[BaseException], float]:
+    """Run one job, capturing any worker exception as structured data.
+
+    Returns ``(ok, result_or_failure, exception_or_none, elapsed_s)``.  Both
+    the in-process and the pooled path catch here, so failure tracebacks
+    carry identical frames whichever path executed the job.  The exception
+    object itself is carried along only when it survives pickling (the
+    pooled path ships these tuples across process boundaries).
+    """
+    started = time.perf_counter()
+    try:
+        if fault_plan is not None:
+            fault_plan.maybe_fault(job)
+        result = _invoke(worker_fn, job, context)
+    except Exception as exc:  # noqa: BLE001 -- the whole point is containment
+        elapsed = time.perf_counter() - started
+        failure = JobFailure(
+            phase=PHASE_WORKER,
+            exception_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+        try:
+            pickle.loads(pickle.dumps(exc))
+            carried: Optional[BaseException] = exc
+        except Exception:  # noqa: BLE001 -- unpicklable exceptions travel as text
+            carried = None
+        return False, failure, carried, elapsed
+    return True, result, None, time.perf_counter() - started
+
+
+def _chunk_entry(
+    payload: tuple[Callable, list, Any, Optional[FaultPlan]],
+) -> list[tuple[bool, Any, Optional[BaseException], float]]:
+    """Pool entry point: execute one chunk of jobs (module-level so it pickles)."""
+    worker_fn, chunk_jobs, context, fault_plan = payload
+    return [_execute_job(worker_fn, job, context, fault_plan) for job in chunk_jobs]
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: hung workers are terminated, not waited for."""
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5)
 
 
 def run_jobs(
@@ -115,6 +248,12 @@ def run_jobs(
     encode: Callable[[Any], dict] = lambda result: result,
     decode: Callable[[dict], Any] = lambda payload: payload,
     chunksize: Optional[int] = None,
+    on_error: str = "raise",
+    timeout: Optional[float] = None,
+    max_attempts: int = 1,
+    retry_backoff: float = 0.0,
+    isolate: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> list[Any]:
     """Map ``worker_fn`` over ``jobs``, fanning out across processes.
 
@@ -122,26 +261,56 @@ def run_jobs(
         jobs: independent, picklable job payloads.
         worker_fn: module-level callable, invoked as ``worker_fn(job)`` or
             ``worker_fn(job, context)`` when ``context`` is given.
-        workers: pool size; ``<= 1`` (or one job) runs in-process.
+        workers: pool size; ``<= 1`` (or one job) runs in-process unless
+            ``timeout``/``isolate`` demand process isolation.
         context: shared read-only payload (e.g. a stage config) handed to
             every invocation alongside the job; when given (``None``
             included), the worker is called as ``worker_fn(job, context)``.
-        cache: optional :class:`ResultCache`; requires ``key_fn``.
+        cache: optional :class:`ResultCache`; requires ``key_fn``.  In
+            quarantine mode, failure records are cached through under the
+            same keys, so warm re-runs reproduce quarantine decisions
+            without re-executing (delete the entries to force a retry).
         key_fn: maps a job to its content-address
             (:func:`repro.runtime.cache.content_key` over every input that
             can change the result -- and nothing that cannot).
         encode / decode: JSON round-trip for cached results; default
             identity (results must then already be JSON-safe).
-        chunksize: jobs per pool submission; default splits the miss list
-            evenly across workers in a handful of waves.
+        chunksize: jobs per pool submission; default
+            :func:`auto_chunksize` (a few waves per worker, capped at
+            :data:`MAX_CHUNKSIZE` to keep loss attribution sharp).
+        on_error: ``"raise"`` (default: first exhausted failure aborts the
+            run, exactly as before this layer existed) or ``"quarantine"``
+            (the run completes; returns per-job
+            :class:`~repro.runtime.faults.JobOutcome` records).
+        timeout: per-job wall-clock budget in seconds.  Enforced at chunk
+            granularity (a chunk's deadline is ``timeout * len(chunk)``)
+            with exact per-job enforcement on singleton re-runs; forces the
+            pooled path so a hung worker can be killed.
+        max_attempts: executions charged to a job before it is quarantined
+            (or raised).  Only attributable failures are charged: a job
+            that merely shared a chunk with a hang or crash is re-run for
+            free.
+        retry_backoff: seconds slept before retry ``n`` (scaled by ``n``);
+            deterministic, and irrelevant to output under the purity
+            contract.
+        isolate: force the pooled path even for one worker, so a crash or
+            hang cannot take down the calling process.
+        fault_plan: optional :class:`~repro.runtime.faults.FaultPlan`
+            injecting deterministic faults into chosen jobs (tests only).
 
     Returns:
-        One result per job, in submission order, for any worker count.
+        With ``on_error="raise"``: one result per job, in submission order,
+        for any worker count.  With ``on_error="quarantine"``: one
+        :class:`~repro.runtime.faults.JobOutcome` per job, same order.
     """
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"on_error must be 'raise' or 'quarantine', not {on_error!r}")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
     if cache is not None and key_fn is None:
         raise ValueError("run_jobs(cache=...) requires key_fn")
     jobs = list(jobs)
-    results: list[Any] = [None] * len(jobs)
+    outcomes: list[Optional[JobOutcome]] = [None] * len(jobs)
 
     pending = list(range(len(jobs)))
     keys: list[Optional[str]] = [None] * len(jobs)
@@ -152,26 +321,269 @@ def run_jobs(
             payload = cache.get(keys[index])
             if payload is None:
                 pending.append(index)
+            elif isinstance(payload, dict) and FAILURE_KEY in payload:
+                outcomes[index] = JobOutcome.from_failure_payload(payload)
             else:
-                results[index] = decode(payload)
-    if not pending:
-        return results
+                outcomes[index] = JobOutcome(ok=True, result=decode(payload))
 
-    def store(index: int, result: Any) -> Any:
+    def settle(index: int, outcome: JobOutcome) -> None:
         if cache is not None:
-            cache.put(keys[index], encode(result))
-        return result
+            if outcome.ok:
+                cache.put(keys[index], encode(outcome.result))
+            else:
+                cache.put(keys[index], outcome.failure_payload())
+        outcomes[index] = outcome
 
-    workers = min(workers, len(pending))
-    if workers <= 1:
+    fail_fast = on_error == "raise"
+    if pending:
+        effective = min(workers, len(pending))
+        pooled = effective > 1 or timeout is not None or isolate
+        runner = _PendingRun(
+            jobs=jobs,
+            worker_fn=worker_fn,
+            context=context,
+            fault_plan=fault_plan,
+            timeout=timeout,
+            max_attempts=max_attempts,
+            retry_backoff=retry_backoff,
+            settle=settle,
+            fail_fast=fail_fast,
+        )
+        if pooled:
+            runner.run_pooled(pending, max(1, effective), chunksize)
+        else:
+            runner.run_serial(pending)
+
+    if on_error == "quarantine":
+        return outcomes
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise_failure(outcome)
+    return [outcome.result for outcome in outcomes]
+
+
+class _PendingRun:
+    """One ``run_jobs`` call's execution state for the jobs that missed the cache."""
+
+    def __init__(
+        self,
+        jobs: list,
+        worker_fn: Callable,
+        context: Any,
+        fault_plan: Optional[FaultPlan],
+        timeout: Optional[float],
+        max_attempts: int,
+        retry_backoff: float,
+        settle: Callable[[int, JobOutcome], None],
+        fail_fast: bool,
+    ):
+        self.jobs = jobs
+        self.worker_fn = worker_fn
+        self.context = context
+        self.fault_plan = fault_plan
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.settle = settle
+        self.fail_fast = fail_fast
+        self.attempts: dict[int, int] = {}
+        #: Jobs implicated in a pool loss or awaiting a retry: re-run as
+        #: singleton chunks, one at a time, so failures are attributable.
+        self.suspects: deque[int] = deque()
+
+    # ------------------------------------------------------------------ #
+    # shared bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _charged(self, index: int) -> int:
+        self.attempts[index] = self.attempts.get(index, 0) + 1
+        return self.attempts[index]
+
+    def _succeed(self, index: int, result: Any, elapsed: float) -> None:
+        self.settle(
+            index,
+            JobOutcome(ok=True, result=result, attempts=self._charged(index), elapsed_s=elapsed),
+        )
+
+    def _fail(
+        self,
+        index: int,
+        failure: JobFailure,
+        exception: Optional[BaseException],
+        elapsed: float,
+    ) -> bool:
+        """Charge one failed attempt; returns True when the job may retry."""
+        charged = self._charged(index)
+        if charged < self.max_attempts:
+            if self.retry_backoff > 0:
+                time.sleep(self.retry_backoff * charged)
+            return True
+        outcome = JobOutcome(
+            ok=False, failure=failure, attempts=charged, elapsed_s=elapsed, exception=exception
+        )
+        self.settle(index, outcome)
+        if self.fail_fast:
+            raise_failure(outcome)
+        return False
+
+    def _absorb_chunk(self, chunk: Sequence[int], entries: list) -> None:
+        """Fold one completed chunk's per-job entries into the run state."""
+        for index, (ok, payload, exception, elapsed) in zip(chunk, entries):
+            if ok:
+                self._succeed(index, payload, elapsed)
+            elif self._fail(index, payload, exception, elapsed):
+                self.suspects.append(index)
+
+    def _lost_failure(self, phase: str) -> JobFailure:
+        if phase == PHASE_TIMEOUT:
+            return JobFailure(
+                phase=phase,
+                exception_type="JobTimeoutError",
+                message=f"job exceeded its {self.timeout}s timeout",
+            )
+        return JobFailure(
+            phase=phase,
+            exception_type="WorkerCrashError",
+            message="worker process died while running this job",
+        )
+
+    # ------------------------------------------------------------------ #
+    # in-process path
+    # ------------------------------------------------------------------ #
+
+    def run_serial(self, pending: Sequence[int]) -> None:
         for index in pending:
-            results[index] = store(index, _invoke(worker_fn, jobs[index], context))
-        return results
+            while True:
+                ok, payload, exception, elapsed = _execute_job(
+                    self.worker_fn, self.jobs[index], self.context, self.fault_plan
+                )
+                if ok:
+                    self._succeed(index, payload, elapsed)
+                    break
+                if not self._fail(index, payload, exception, elapsed):
+                    break
 
-    payloads = [(worker_fn, jobs[index], context) for index in pending]
-    if chunksize is None:
-        chunksize = max(1, len(pending) // (workers * 4))
-    with get_context().Pool(processes=workers) as pool:
-        for index, result in zip(pending, pool.imap(_pool_entry, payloads, chunksize)):
-            results[index] = store(index, result)
-    return results
+    # ------------------------------------------------------------------ #
+    # pooled path
+    # ------------------------------------------------------------------ #
+
+    def run_pooled(self, pending: Sequence[int], workers: int, chunksize: Optional[int]) -> None:
+        if chunksize is None:
+            chunksize = auto_chunksize(len(pending), workers)
+        queue: deque[tuple[int, ...]] = deque(
+            tuple(pending[start:start + chunksize])
+            for start in range(0, len(pending), chunksize)
+        )
+        context = get_context()
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        inflight: dict[Future, tuple[tuple[int, ...], Optional[float]]] = {}
+
+        def submit(pool: ProcessPoolExecutor, chunk: tuple[int, ...]) -> None:
+            future = pool.submit(
+                _chunk_entry,
+                (self.worker_fn, [self.jobs[i] for i in chunk], self.context, self.fault_plan),
+            )
+            deadline = (
+                time.monotonic() + self.timeout * len(chunk)
+                if self.timeout is not None
+                else None
+            )
+            inflight[future] = (chunk, deadline)
+
+        def charge_or_suspect(index: int, phase: str) -> None:
+            if self._fail(index, self._lost_failure(phase), None, 0.0):
+                self.suspects.append(index)
+
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < workers:
+                    submit(pool, queue.popleft())
+                tick = _WATCHDOG_TICK_S if self.timeout is not None else None
+                done, _ = wait(list(inflight), timeout=tick, return_when=FIRST_COMPLETED)
+                lost: list[tuple[int, ...]] = []
+                for future in done:
+                    chunk, _deadline = inflight.pop(future)
+                    try:
+                        entries = future.result()
+                    except BrokenProcessPool:
+                        lost.append(chunk)
+                    else:
+                        self._absorb_chunk(chunk, entries)
+                if lost:
+                    # A worker death breaks the whole pool: every chunk still
+                    # in flight is lost with it.  The loss is attributable
+                    # only when exactly one job was in flight -- otherwise
+                    # any of the implicated jobs could be the killer, so all
+                    # of them are re-run as singleton suspects, uncharged.
+                    lost.extend(chunk for chunk, _deadline in inflight.values())
+                    inflight.clear()
+                    if len(lost) == 1 and len(lost[0]) == 1:
+                        charge_or_suspect(lost[0][0], PHASE_WORKER_DEATH)
+                    else:
+                        for chunk in lost:
+                            self.suspects.extend(chunk)
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+                    continue
+                if self.timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_chunk, deadline) in inflight.items()
+                        if deadline is not None and now >= deadline
+                    ]
+                    if expired:
+                        # Deadline expiry *is* attributable per chunk: each
+                        # expired chunk exceeded its own deadline.  Multi-job
+                        # chunks still re-run as suspects for per-job blame.
+                        for future in expired:
+                            chunk, _deadline = inflight.pop(future)
+                            if len(chunk) == 1:
+                                charge_or_suspect(chunk[0], PHASE_TIMEOUT)
+                            else:
+                                self.suspects.extend(chunk)
+                        # Killing the hung worker kills the whole pool; the
+                        # innocent in-flight chunks just run again as-is.
+                        for chunk, _deadline in inflight.values():
+                            queue.appendleft(chunk)
+                        inflight.clear()
+                        _kill_pool(pool)
+                        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            self._run_suspects(context)
+        finally:
+            _kill_pool(pool)
+
+    def _run_suspects(self, context) -> None:
+        """Re-run implicated jobs one at a time on a dedicated 1-worker pool.
+
+        With a single singleton in flight, a timeout or worker death is
+        attributable to exactly that job, so charges (and therefore
+        quarantine decisions) are precise even when the original loss
+        happened inside a many-job chunk.
+        """
+        if not self.suspects:
+            return
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+        try:
+            while self.suspects:
+                index = self.suspects.popleft()
+                future = pool.submit(
+                    _chunk_entry,
+                    (self.worker_fn, [self.jobs[index]], self.context, self.fault_plan),
+                )
+                try:
+                    entries = future.result(timeout=self.timeout)
+                except FutureTimeoutError:
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+                    if self._fail(index, self._lost_failure(PHASE_TIMEOUT), None, 0.0):
+                        self.suspects.append(index)
+                except BrokenProcessPool:
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+                    if self._fail(index, self._lost_failure(PHASE_WORKER_DEATH), None, 0.0):
+                        self.suspects.append(index)
+                else:
+                    self._absorb_chunk((index,), entries)
+        finally:
+            _kill_pool(pool)
