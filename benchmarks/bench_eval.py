@@ -43,6 +43,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.dataaug.pipeline import DataAugmentationPipeline, PipelineConfig  # noqa: E402
 from repro.eval.harness import EvalConfig, EvalHarness  # noqa: E402
 from repro.model.assertsolver_model import AssertSolverModel  # noqa: E402
+from repro.obs import host_metadata  # noqa: E402
 
 
 def main() -> int:
@@ -126,6 +127,7 @@ def main() -> int:
 
     report = {
         "schema": "bench_eval/v1",
+        "host": host_metadata(workers=args.workers),
         "config": {
             "scale": scale,
             "seed": args.seed,

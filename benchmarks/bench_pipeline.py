@@ -43,6 +43,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.dataaug.pipeline import DataAugmentationPipeline, PipelineConfig  # noqa: E402
+from repro.obs import host_metadata  # noqa: E402
 
 
 def dataset_bytes(datasets) -> str:
@@ -95,6 +96,7 @@ def main() -> int:
     statistics = serial_datasets.statistics
     report = {
         "schema": "bench_pipeline/v1",
+        "host": host_metadata(workers=args.workers),
         "design_count": args.design_count,
         "seed": args.seed,
         "workers": args.workers,

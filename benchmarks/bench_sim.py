@@ -57,6 +57,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.corpus.templates import all_families  # noqa: E402
 from repro.dataaug.pipeline import DataAugmentationPipeline, PipelineConfig  # noqa: E402
 from repro.hdl.lint import compile_source  # noqa: E402
+from repro.obs import host_metadata  # noqa: E402
 from repro.sim.compile import CompiledSimulator, compile_design  # noqa: E402
 from repro.sim.engine import InterpSimulator  # noqa: E402
 from repro.sim.stimulus import StimulusGenerator  # noqa: E402
@@ -154,6 +155,7 @@ def main() -> int:
     geomean_mat = math.exp(sum(math.log(s) for s in mat_speedups) / len(mat_speedups))
     report = {
         "schema": "bench_sim/v1",
+        "host": host_metadata(),
         "cycles_per_family": args.cycles,
         "timing_repeats": args.repeat,
         "microbenchmarks": micro,

@@ -82,6 +82,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.corpus.templates import all_families  # noqa: E402
 from repro.eval.verifier import SemanticVerifier, VerifierConfig  # noqa: E402
 from repro.hdl.lint import compile_source  # noqa: E402
+from repro.obs import host_metadata  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 from repro.sim.stimulus import StimulusGenerator  # noqa: E402
 from repro.sva.checker import AssertionChecker  # noqa: E402
@@ -277,6 +278,7 @@ def main() -> int:
     verifier = bench_verifier(min(args.cycles, 96), families[: args.verifier_cases])
     report = {
         "schema": "bench_sva/v3",
+        "host": host_metadata(),
         "cycles_per_family": args.cycles,
         "timing_repeats": args.repeat,
         "microbenchmarks": micro,

@@ -92,12 +92,15 @@ class CorpusGenerator:
         "register_file": 2,
     }
 
-    def __init__(self, config: CorpusConfig | None = None, fault_plan: FaultPlan | None = None):
+    def __init__(self, config: CorpusConfig | None = None, fault_plan: FaultPlan | None = None,
+                 tracer=None):
         self._config = config or CorpusConfig()
         self._random = random.Random(self._config.seed)
         self._families = all_families()
         #: Deterministic fault injection for the build jobs (tests only).
         self._fault_plan = fault_plan
+        #: Out-of-band telemetry; never part of the corpus.
+        self._tracer = tracer
 
     @property
     def families(self) -> list[DesignFamily]:
@@ -128,6 +131,7 @@ class CorpusGenerator:
                 timeout=self._config.job_timeout,
                 max_attempts=self._config.max_attempts,
                 fault_plan=self._fault_plan,
+                tracer=self._tracer,
             )
             corpus.samples = [outcome.result for outcome in outcomes if outcome.ok]
             corpus.skipped = [
@@ -143,6 +147,7 @@ class CorpusGenerator:
                 timeout=self._config.job_timeout,
                 max_attempts=self._config.max_attempts,
                 fault_plan=self._fault_plan,
+                tracer=self._tracer,
             )
         corruptor = SyntaxCorruptor(seed=self._config.seed + 1)
         victims = self._random.sample(

@@ -26,6 +26,15 @@ from repro.dataaug.datasets import AugmentedDatasets, DatasetStatistics, SvaBugE
 from repro.dataaug.stage1 import run_stage1
 from repro.dataaug.stage2 import Stage2Config, Stage2Runner
 from repro.dataaug.stage3 import Stage3Config, run_stage3
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    resolve_trace_path,
+    set_registry,
+    set_tracer,
+    write_trace,
+)
 from repro.runtime import FaultPlan
 
 
@@ -55,6 +64,10 @@ class PipelineConfig:
     job_timeout: Optional[float] = None
     #: Pipeline-wide retry budget per job.
     max_attempts: int = 1
+    #: Write a JSONL trace of the run here (``REPRO_TRACE`` is the env
+    #: fallback).  Telemetry only: the datasets are byte-identical with
+    #: tracing on or off, and this knob is never part of any content key.
+    trace_path: Optional[str] = None
 
     @classmethod
     def small(
@@ -103,11 +116,22 @@ class DataAugmentationPipeline:
         self,
         config: Optional[PipelineConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
     ):
         self._config = config or PipelineConfig()
         self.stage_timings: dict[str, float] = {}
         #: Deterministic fault injection threaded into every stage (tests only).
         self._fault_plan = fault_plan
+        #: Tracer ownership: an explicit ``tracer`` means the caller collects
+        #: and writes the trace (the CLI does this to merge pipeline + eval
+        #: into one file); otherwise ``config.trace_path`` / ``REPRO_TRACE``
+        #: make this pipeline own a tracer and write the file after `run`.
+        self._owned_trace_path = (
+            resolve_trace_path(self._config.trace_path) if tracer is None else None
+        )
+        self._tracer = tracer if tracer is not None else (
+            Tracer() if self._owned_trace_path else None
+        )
 
     def _effective_configs(self) -> tuple[CorpusConfig, Stage2Config, Stage3Config, int]:
         """Per-stage configs with the pipeline-level knobs threaded through."""
@@ -135,22 +159,58 @@ class DataAugmentationPipeline:
 
     def run(self, corpus: Optional[Corpus] = None) -> AugmentedDatasets:
         """Execute the full pipeline and return the datasets."""
+        if self._tracer is None:
+            return self._run(corpus)
+        # Install the tracer (and, when this pipeline owns the trace file, a
+        # fresh metrics registry so the file reflects this run alone) as
+        # ambient for the duration; telemetry never touches the datasets.
+        previous_tracer = set_tracer(self._tracer)
+        previous_registry = None
+        if self._owned_trace_path:
+            previous_registry = set_registry(MetricsRegistry())
+        try:
+            with self._tracer.span("pipeline", seed=self._config.seed):
+                datasets = self._run(corpus)
+        finally:
+            registry = get_registry()
+            set_tracer(previous_tracer)
+            if previous_registry is not None:
+                set_registry(previous_registry)
+            if self._owned_trace_path:
+                write_trace(
+                    self._owned_trace_path,
+                    self._tracer,
+                    metrics=registry,
+                    meta={"kind": "pipeline"},
+                )
+        return datasets
+
+    def _run(self, corpus: Optional[Corpus] = None) -> AugmentedDatasets:
         config = self._config
         corpus_config, stage2_config, stage3_config, stage1_workers = (
             self._effective_configs()
         )
         statistics = DatasetStatistics()
         timings: dict[str, float] = {}
+        tracer = self._tracer
 
         def timed(label: str, step):
             started = time.perf_counter()
-            value = step()
-            timings[label] = time.perf_counter() - started
+            if tracer is not None:
+                with tracer.span(f"pipeline.{label}"):
+                    value = step()
+            else:
+                value = step()
+            elapsed = time.perf_counter() - started
+            timings[label] = elapsed
+            get_registry().observe(f"pipeline.{label}_s", elapsed)
             return value
 
         corpus = corpus or timed(
             "corpus",
-            lambda: CorpusGenerator(corpus_config, fault_plan=self._fault_plan).generate(),
+            lambda: CorpusGenerator(
+                corpus_config, fault_plan=self._fault_plan, tracer=tracer
+            ).generate(),
         )
         statistics.corpus_samples = len(corpus.samples) + len(corpus.corrupted)
         statistics.skipped_jobs.extend(corpus.skipped)
@@ -164,6 +224,7 @@ class DataAugmentationPipeline:
                 job_timeout=config.job_timeout,
                 max_attempts=config.max_attempts,
                 fault_plan=self._fault_plan,
+                tracer=tracer,
             ),
         )
         statistics.filtered_out = stage1.filtered_out
@@ -173,9 +234,9 @@ class DataAugmentationPipeline:
 
         stage2 = timed(
             "stage2",
-            lambda: Stage2Runner(stage2_config, fault_plan=self._fault_plan).run(
-                stage1.compiled
-            ),
+            lambda: Stage2Runner(
+                stage2_config, fault_plan=self._fault_plan, tracer=tracer
+            ).run(stage1.compiled),
         )
         statistics.candidate_svas = stage2.candidate_svas
         statistics.validated_svas = stage2.validated_svas
@@ -194,7 +255,9 @@ class DataAugmentationPipeline:
 
         generated, valid, stage3_skipped = timed(
             "stage3",
-            lambda: run_stage3(train_entries, stage3_config, fault_plan=self._fault_plan),
+            lambda: run_stage3(
+                train_entries, stage3_config, fault_plan=self._fault_plan, tracer=tracer
+            ),
         )
         statistics.cot_generated = generated
         statistics.cot_valid = valid

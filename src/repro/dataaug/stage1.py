@@ -89,6 +89,7 @@ def run_stage1(
     job_timeout: float | None = None,
     max_attempts: int = 1,
     fault_plan: FaultPlan | None = None,
+    tracer=None,
 ) -> Stage1Result:
     """Run Stage 1 over a generated corpus.
 
@@ -116,6 +117,7 @@ def run_stage1(
         timeout=job_timeout,
         max_attempts=max_attempts,
         fault_plan=fault_plan,
+        tracer=tracer,
     )
     if on_error == "quarantine":
         quarantined = checks

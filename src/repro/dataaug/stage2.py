@@ -178,11 +178,14 @@ class Stage2Runner:
     """
 
     def __init__(
-        self, config: Optional[Stage2Config] = None, fault_plan: Optional[FaultPlan] = None
+        self, config: Optional[Stage2Config] = None, fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
     ):
         self._config = config or Stage2Config()
         #: Deterministic fault injection for the per-sample jobs (tests only).
         self._fault_plan = fault_plan
+        #: Out-of-band telemetry; never part of content keys or results.
+        self._tracer = tracer
 
     def _sample_injector(self, sample: CorpusSample) -> BugInjector:
         """A fresh, deterministically seeded injector for one sample."""
@@ -363,6 +366,7 @@ class Stage2Runner:
             timeout=config.job_timeout,
             max_attempts=config.max_attempts,
             fault_plan=self._fault_plan,
+            tracer=self._tracer,
         )
         result = Stage2Result()
         if config.on_error == "quarantine":

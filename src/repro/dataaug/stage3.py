@@ -100,11 +100,14 @@ class CotGenerator:
     """
 
     def __init__(
-        self, config: Optional[Stage3Config] = None, fault_plan: Optional[FaultPlan] = None
+        self, config: Optional[Stage3Config] = None, fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
     ):
         self._config = config or Stage3Config()
         #: Deterministic fault injection for the per-entry jobs (tests only).
         self._fault_plan = fault_plan
+        #: Out-of-band telemetry; never part of results.
+        self._tracer = tracer
 
     def _entry_rng(self, entry: SvaBugEntry) -> random.Random:
         return random.Random(derive_seed(self._config.seed, entry.name))
@@ -175,6 +178,7 @@ class CotGenerator:
             timeout=config.job_timeout,
             max_attempts=config.max_attempts,
             fault_plan=self._fault_plan,
+            tracer=self._tracer,
         )
         skipped: list[dict] = []
         if config.on_error == "quarantine":
@@ -213,6 +217,7 @@ def run_stage3(
     entries: list[SvaBugEntry],
     config: Optional[Stage3Config] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer=None,
 ) -> tuple[int, int, list[dict]]:
     """Convenience wrapper: annotate ``entries`` with CoTs and return the counts."""
-    return CotGenerator(config, fault_plan=fault_plan).annotate(entries)
+    return CotGenerator(config, fault_plan=fault_plan, tracer=tracer).annotate(entries)

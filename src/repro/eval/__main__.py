@@ -31,6 +31,14 @@ from repro.eval.harness import EvalConfig, EvalHarness
 from repro.eval.reports import write_reports
 from repro.eval.verifier import SemanticVerifier
 from repro.model.assertsolver_model import AssertSolverModel
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    resolve_trace_path,
+    scoped_registry,
+    set_tracer,
+    write_trace,
+)
 from repro.runtime import default_workers
 
 
@@ -73,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="verdict cache directory (re-runs become incremental); omit to disable",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help=(
+            "write a JSONL trace of the whole run (pipeline + eval) here; "
+            "REPRO_TRACE=<path> is the env fallback.  Inspect it with "
+            "'python -m repro.obs summarize <path>'"
+        ),
+    )
     return parser
 
 
@@ -97,7 +115,26 @@ def train_model(stage: str, datasets, seed: int, cache_dir=None) -> AssertSolver
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = resolve_trace_path(args.trace)
+    if trace_path is None:
+        return _run(args, tracer=None)
+    # One tracer and one metrics registry span the whole run (pipeline,
+    # training, eval), written to a single trace file at the end.  The
+    # components are handed the tracer explicitly so neither resolves
+    # REPRO_TRACE itself and double-writes the same path.
+    tracer = Tracer()
+    previous_tracer = set_tracer(tracer)
+    with scoped_registry(MetricsRegistry()) as registry:
+        try:
+            code = _run(args, tracer=tracer)
+        finally:
+            set_tracer(previous_tracer)
+            write_trace(trace_path, tracer, metrics=registry, meta={"kind": "eval_cli"})
+            print(f"wrote trace: {trace_path}", file=sys.stderr)
+    return code
 
+
+def _run(args, tracer) -> int:
     if args.design_count > 0:
         pipeline_config = PipelineConfig.default(
             seed=args.seed, design_count=args.design_count, workers=args.workers
@@ -106,7 +143,7 @@ def main(argv=None) -> int:
         pipeline_config = PipelineConfig.small(seed=args.seed, workers=args.workers)
 
     started = time.perf_counter()
-    datasets = DataAugmentationPipeline(pipeline_config).run()
+    datasets = DataAugmentationPipeline(pipeline_config, tracer=tracer).run()
     print(
         f"pipeline: {datasets.statistics.sva_bug_entries} SVA-Bug entries, "
         f"{len(datasets.sva_eval_machine)} held out for SVA-Eval-Machine "
@@ -128,7 +165,7 @@ def main(argv=None) -> int:
         cache_dir=args.cache_dir,
     )
     started = time.perf_counter()
-    report = EvalHarness(config).run(model, datasets.sva_eval_machine)
+    report = EvalHarness(config, tracer=tracer).run(model, datasets.sva_eval_machine)
     elapsed = time.perf_counter() - started
 
     paths = write_reports(report, args.output_dir, split=datasets.sva_eval_machine)
@@ -138,7 +175,8 @@ def main(argv=None) -> int:
     )
     print(
         f"eval: {summary['cases']} cases, {summary['candidates_verified']} candidates verified "
-        f"({elapsed:.1f}s, cache {report.cache_hits} hits / {report.cache_misses} misses)"
+        f"({elapsed:.1f}s, cache {report.cache_hits} hits / {report.cache_misses} misses"
+        f" / {report.cache_corrupt} corrupt)"
     )
     print(f"      {rates}")
     print(f"      verdicts: {json.dumps(summary['verdicts'])}")

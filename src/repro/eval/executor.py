@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.eval.cache import VerdictCache
 from repro.eval.verifier import CandidateFix, RepairVerdict, SemanticVerifier, VerifierConfig
+from repro.obs import annotate
 from repro.runtime import FaultPlan, JobFailure, run_jobs
 
 
@@ -45,10 +46,15 @@ class ShardResult:
     verdicts: list[RepairVerdict] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Corrupt on-disk entries the worker's verdict cache hit (telemetry
+    #: only -- never part of the report JSON, which must stay byte-identical
+    #: whatever the cache state).
+    cache_corrupt: int = 0
 
 
 def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
     """Worker function: verify one job (module-level so it pickles)."""
+    annotate(case=job.case_name, fixes=len(job.fixes))
     cache = VerdictCache(cache_dir) if cache_dir else None
     verifier = SemanticVerifier(
         config=VerifierConfig(cycles=job.cycles, checker_backend=job.checker_backend),
@@ -60,6 +66,7 @@ def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
     if cache is not None:
         result.cache_hits = cache.hits
         result.cache_misses = cache.misses
+        result.cache_corrupt = cache.corrupt
     return result
 
 
@@ -89,6 +96,7 @@ def run_verification_jobs(
     job_timeout: Optional[float] = None,
     max_attempts: int = 1,
     fault_plan: Optional[FaultPlan] = None,
+    tracer=None,
 ) -> list[ShardResult]:
     """Verify every job through the shared runtime executor.
 
@@ -107,6 +115,7 @@ def run_verification_jobs(
         timeout=job_timeout,
         max_attempts=max_attempts,
         fault_plan=fault_plan,
+        tracer=tracer,
     )
     if on_error != "quarantine":
         return results

@@ -32,6 +32,16 @@ from repro.eval.verifier import (
 )
 from repro.model.case import RepairCase
 from repro.model.response import RepairEngine
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    resolve_trace_path,
+    set_registry,
+    set_tracer,
+    write_trace,
+)
 
 
 @dataclass
@@ -58,6 +68,10 @@ class EvalConfig:
     job_timeout: Optional[float] = None
     #: Executions charged to a case's job before it is quarantined/raised.
     max_attempts: int = 1
+    #: Write a JSONL trace of the run here (``REPRO_TRACE`` is the env
+    #: fallback).  Telemetry only: the report is byte-identical with tracing
+    #: on or off.
+    trace_path: Optional[str] = None
 
     @property
     def k(self) -> int:
@@ -171,6 +185,9 @@ class EvalReport:
     cases: list[CaseResult] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Corrupt verdict-cache entries hit across workers (telemetry only;
+    #: like the hit/miss counters, never part of :meth:`summary`).
+    cache_corrupt: int = 0
 
     @property
     def pass_rates(self) -> dict[str, float]:
@@ -208,19 +225,56 @@ class EvalReport:
 class EvalHarness:
     """Evaluates repair engines on held-out SVA-Bug entries."""
 
-    def __init__(self, config: Optional[EvalConfig] = None, fault_plan=None):
+    def __init__(self, config: Optional[EvalConfig] = None, fault_plan=None, tracer=None):
         self.config = config or EvalConfig()
         #: Deterministic fault injection for verification jobs (tests only).
         self._fault_plan = fault_plan
+        #: Tracer ownership mirrors the pipeline: an explicit ``tracer``
+        #: means the caller writes the trace; otherwise ``config.trace_path``
+        #: / ``REPRO_TRACE`` make this harness own one and write it after
+        #: :meth:`run`.
+        self._owned_trace_path = (
+            resolve_trace_path(self.config.trace_path) if tracer is None else None
+        )
+        self._tracer = tracer if tracer is not None else (
+            Tracer() if self._owned_trace_path else None
+        )
 
     def _case_seed(self, name: str) -> int:
         return (zlib.crc32(name.encode()) ^ self.config.seed) & 0x7FFFFFFF
 
     def run(self, engine: RepairEngine, entries: Sequence[SvaBugEntry]) -> EvalReport:
         """Sample, verify and score ``engine`` over ``entries``."""
+        if self._tracer is None:
+            return self._run(engine, entries)
+        previous_tracer = set_tracer(self._tracer)
+        previous_registry = None
+        if self._owned_trace_path:
+            previous_registry = set_registry(MetricsRegistry())
+        try:
+            with self._tracer.span("eval", engine=engine.name, cases=len(entries)):
+                report = self._run(engine, entries)
+        finally:
+            registry = get_registry()
+            set_tracer(previous_tracer)
+            if previous_registry is not None:
+                set_registry(previous_registry)
+            if self._owned_trace_path:
+                write_trace(
+                    self._owned_trace_path,
+                    self._tracer,
+                    metrics=registry,
+                    meta={"kind": "eval"},
+                )
+        return report
+
+    def _run(self, engine: RepairEngine, entries: Sequence[SvaBugEntry]) -> EvalReport:
         config = self.config
+        tracer = self._tracer if self._tracer is not None else NULL_TRACER
         ordered = sorted(entries, key=lambda entry: entry.name)
 
+        propose_span = tracer.span("eval.propose")
+        propose_span.__enter__()
         jobs: list[VerificationJob] = []
         skeletons: list[CaseResult] = []
         responses_per_case: list[list] = []
@@ -271,29 +325,38 @@ class EvalHarness:
                 )
             )
 
-        shards = run_verification_jobs(
-            jobs,
-            workers=config.workers,
-            cache_dir=config.cache_dir,
-            on_error=config.on_error,
-            job_timeout=config.job_timeout,
-            max_attempts=config.max_attempts,
-            fault_plan=self._fault_plan,
-        )
+        propose_span.set(jobs=len(jobs))
+        propose_span.__exit__(None, None, None)
+
+        with tracer.span("eval.verify", jobs=len(jobs)):
+            shards = run_verification_jobs(
+                jobs,
+                workers=config.workers,
+                cache_dir=config.cache_dir,
+                on_error=config.on_error,
+                job_timeout=config.job_timeout,
+                max_attempts=config.max_attempts,
+                fault_plan=self._fault_plan,
+                tracer=self._tracer,
+            )
 
         report = EvalReport(engine=engine.name, ks=config.ks)
-        for skeleton, responses, shard in zip(skeletons, responses_per_case, shards):
-            for rank, (response, verdict) in enumerate(zip(responses, shard.verdicts), start=1):
-                skeleton.candidates.append(
-                    CandidateOutcome(
-                        rank=rank,
-                        line_number=response.line_number,
-                        fixed_line=response.fixed_line.strip(),
-                        confidence=response.confidence,
-                        verdict=verdict,
+        with tracer.span("eval.score"):
+            for skeleton, responses, shard in zip(skeletons, responses_per_case, shards):
+                for rank, (response, verdict) in enumerate(
+                    zip(responses, shard.verdicts), start=1
+                ):
+                    skeleton.candidates.append(
+                        CandidateOutcome(
+                            rank=rank,
+                            line_number=response.line_number,
+                            fixed_line=response.fixed_line.strip(),
+                            confidence=response.confidence,
+                            verdict=verdict,
+                        )
                     )
-                )
-            report.cache_hits += shard.cache_hits
-            report.cache_misses += shard.cache_misses
-            report.cases.append(skeleton)
+                report.cache_hits += shard.cache_hits
+                report.cache_misses += shard.cache_misses
+                report.cache_corrupt += shard.cache_corrupt
+                report.cases.append(skeleton)
         return report

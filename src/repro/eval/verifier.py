@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 from repro.eval.cache import VerdictCache, verdict_key
 from repro.hdl.lint import compile_source
+from repro.obs import get_registry, phase
 from repro.hdl.source import SourceFile, lines_equivalent
 from repro.sim.compile import CompileError
 from repro.sim.engine import SimulationError, Simulator, SimulatorOptions
@@ -203,11 +204,16 @@ class SemanticVerifier:
             version = f"{VERIFIER_VERSION}+{self.config.checker_backend}"
         key = verdict_key(patched, seeds, cycles, self.config.reset_cycles, version)
         verdict = self._memo.get(key)
+        if verdict is not None:
+            get_registry().inc("eval.memo.hits")
         if verdict is None and self.cache is not None:
             stored = self.cache.get(key)
             if stored is not None:
+                get_registry().inc("eval.verdict_cache.hits")
                 verdict = RepairVerdict.from_dict(stored)
                 self._memo[key] = verdict
+            else:
+                get_registry().inc("eval.verdict_cache.misses")
         if verdict is None:
             verdict = self.verify_source(patched, seeds, cycles=cycles)
             self._memo[key] = verdict
@@ -242,34 +248,39 @@ class SemanticVerifier:
         """
         seeds = tuple(seeds)
         cycles = self.config.cycles if cycles is None else cycles
-        result = compile_source(patched_source)
-        if not result.ok or result.design is None:
-            first_error = result.errors[0].render() if result.errors else "compilation failed"
-            return RepairVerdict(
-                status="compile_fail", seeds=seeds, cycles=cycles, detail=first_error
-            )
-        design = result.design
-        # Lowered once per patched design, shared by every stimulus seed.
-        try:
-            checker = CheckerBackend(design, backend=self.config.checker_backend)
-        except CompileError:
-            # Only the strict "compiled" backend can raise (an assertion the
-            # lowering rejects).  Verification must yield a verdict, not an
-            # exception that aborts a whole eval run, and "auto" is
-            # outcome-identical, so degrade to the per-assertion fallback.
-            checker = CheckerBackend(design, backend="auto")
+        with phase("verify.compile"):
+            result = compile_source(patched_source)
+            if not result.ok or result.design is None:
+                first_error = (
+                    result.errors[0].render() if result.errors else "compilation failed"
+                )
+                return RepairVerdict(
+                    status="compile_fail", seeds=seeds, cycles=cycles, detail=first_error
+                )
+            design = result.design
+            # Lowered once per patched design, shared by every stimulus seed.
+            try:
+                checker = CheckerBackend(design, backend=self.config.checker_backend)
+            except CompileError:
+                # Only the strict "compiled" backend can raise (an assertion
+                # the lowering rejects).  Verification must yield a verdict,
+                # not an exception that aborts a whole eval run, and "auto"
+                # is outcome-identical, so degrade to the per-assertion
+                # fallback.
+                checker = CheckerBackend(design, backend="auto")
         def simulate(seed: int):
-            stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(
-                random_cycles=cycles, reset_cycles=self.config.reset_cycles
-            )
-            # Column recording streams per-signal (value, xmask) change
-            # events into the trace while simulating, so the vectorised
-            # checker's columnar view costs O(changes) per seed and the
-            # trace never needs to materialise per-cycle dicts; each
-            # candidate's columns are then built once per trace inside the
-            # batched checking pass.
-            options = SimulatorOptions(record_columns=True)
-            return Simulator(design, options).run(stimulus.vectors)
+            with phase("verify.simulate"):
+                stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(
+                    random_cycles=cycles, reset_cycles=self.config.reset_cycles
+                )
+                # Column recording streams per-signal (value, xmask) change
+                # events into the trace while simulating, so the vectorised
+                # checker's columnar view costs O(changes) per seed and the
+                # trace never needs to materialise per-cycle dicts; each
+                # candidate's columns are then built once per trace inside
+                # the batched checking pass.
+                options = SimulatorOptions(record_columns=True)
+                return Simulator(design, options).run(stimulus.vectors)
 
         exercised = False
 
@@ -296,7 +307,8 @@ class SemanticVerifier:
                 failing_seed=seeds[0], detail=str(exc),
             )
         if first_trace is not None:
-            report = checker.check(first_trace)
+            with phase("verify.check"):
+                report = checker.check(first_trace)
             exercised = any(
                 outcome.antecedent_matches > 0 for outcome in report.outcomes.values()
             )
@@ -312,7 +324,8 @@ class SemanticVerifier:
             except SimulationError as exc:
                 sim_failure = (seed, str(exc))
                 break
-        reports = checker.check_batch([trace for _, trace in simulated])
+        with phase("verify.check"):
+            reports = checker.check_batch([trace for _, trace in simulated])
         for (seed, _), report in zip(simulated, reports):
             exercised = exercised or any(
                 outcome.antecedent_matches > 0 for outcome in report.outcomes.values()

@@ -1,0 +1,64 @@
+"""``python -m repro.obs`` — inspect trace files from the command line.
+
+Subcommands:
+
+* ``summarize TRACE [--top N]`` — print the human run report for a JSONL
+  trace written by :func:`repro.obs.write_trace`.
+* ``export-chrome TRACE [-o OUT]`` — convert the JSONL trace into Chrome
+  trace-event JSON loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.report import render_report
+from repro.obs.trace import read_trace, write_chrome_trace
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="Inspect repro trace files."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser("summarize", help="print the human run report")
+    summarize.add_argument("trace", help="JSONL trace file written by a traced run")
+    summarize.add_argument(
+        "--top", type=int, default=10, help="slowest-job rows to show (default 10)"
+    )
+
+    export = sub.add_parser(
+        "export-chrome", help="convert a trace to Perfetto-loadable JSON"
+    )
+    export.add_argument("trace", help="JSONL trace file written by a traced run")
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
+
+    args = parser.parse_args(argv)
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"trace file not found: {trace_path}", file=sys.stderr)
+        return 2
+    data = read_trace(trace_path)
+
+    if args.command == "summarize":
+        sys.stdout.write(render_report(data, top=args.top))
+        return 0
+
+    output = Path(args.output) if args.output else trace_path.with_suffix(".chrome.json")
+    write_chrome_trace(output, data.spans)
+    print(f"wrote {len(data.spans)} events to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,8 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro.obs.metrics import get_registry
+
 
 def content_key(*parts: str) -> str:
     """The content address of one result: SHA-256 over NUL-separated parts.
@@ -44,6 +46,8 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.swept = 0
         self._sweep_stale_tmp_files()
 
     #: A ``*.tmp<pid>`` file older than this is an orphan from a killed
@@ -65,6 +69,8 @@ class ResultCache:
             try:
                 if stale.stat().st_mtime < cutoff:
                     stale.unlink()
+                    self.swept += 1
+                    get_registry().inc("runtime.cache.stale_tmp_swept")
             except OSError:
                 pass
 
@@ -72,14 +78,30 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[dict]:
-        """The stored payload, or ``None`` on a miss."""
+        """The stored payload, or ``None`` on a miss.
+
+        A present-but-unparseable entry (truncated write survivor, disk
+        corruption) counts as both a miss and a corrupt entry; the caller
+        recomputes and :meth:`put` overwrites the bad file.
+        """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
+            get_registry().inc("runtime.cache.misses")
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self.corrupt += 1
+            self.misses += 1
+            registry = get_registry()
+            registry.inc("runtime.cache.corrupt_entries")
+            registry.inc("runtime.cache.misses")
             return None
         self.hits += 1
+        get_registry().inc("runtime.cache.hits")
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -89,6 +111,15 @@ class ResultCache:
         temporary = path.with_name(f"{path.name}.tmp{os.getpid()}")
         temporary.write_text(json.dumps(payload, sort_keys=True))
         os.replace(temporary, path)
+
+    def stats(self) -> dict:
+        """This instance's traffic counters (process-local, since open)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_entries": self.corrupt,
+            "stale_tmp_swept": self.swept,
+        }
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -94,6 +94,8 @@ from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Any, Callable, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, get_registry, labeled, set_registry
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.runtime.cache import ResultCache
 from repro.runtime.faults import (
     FAILURE_KEY,
@@ -184,16 +186,35 @@ def _invoke(worker_fn: Callable, job: Any, context: Any) -> Any:
 
 
 def _execute_job(
-    worker_fn: Callable, job: Any, context: Any, fault_plan: Optional[FaultPlan]
-) -> tuple[bool, Any, Optional[BaseException], float]:
+    worker_fn: Callable,
+    job: Any,
+    context: Any,
+    fault_plan: Optional[FaultPlan],
+    telemetry: bool = False,
+) -> tuple[bool, Any, Optional[BaseException], float, Optional[tuple]]:
     """Run one job, capturing any worker exception as structured data.
 
-    Returns ``(ok, result_or_failure, exception_or_none, elapsed_s)``.  Both
-    the in-process and the pooled path catch here, so failure tracebacks
-    carry identical frames whichever path executed the job.  The exception
-    object itself is carried along only when it survives pickling (the
-    pooled path ships these tuples across process boundaries).
+    Returns ``(ok, result_or_failure, exception_or_none, elapsed_s,
+    shipped_telemetry)``.  Both the in-process and the pooled path catch
+    here, so failure tracebacks carry identical frames whichever path
+    executed the job.  The exception object itself is carried along only
+    when it survives pickling (the pooled path ships these tuples across
+    process boundaries).
+
+    With ``telemetry`` on, the job runs under a fresh ambient tracer
+    (epoch 0, i.e. absolute monotonic timestamps the orchestrator re-bases
+    via :meth:`~repro.obs.trace.Tracer.absorb`) and a fresh ambient metrics
+    registry; the final element ships ``(spans, metrics_snapshot)`` back
+    piggybacked on the result so one trace file covers every process.
     """
+    shipped: Optional[tuple] = None
+    if telemetry:
+        job_tracer = Tracer(epoch=0.0)
+        job_registry = MetricsRegistry()
+        previous_tracer = set_tracer(job_tracer)
+        previous_registry = set_registry(job_registry)
+        job_span = job_tracer.span("job")
+        job_span.__enter__()
     started = time.perf_counter()
     try:
         if fault_plan is not None:
@@ -214,16 +235,27 @@ def _execute_job(
             carried: Optional[BaseException] = exc
         except Exception:  # noqa: BLE001 -- unpicklable exceptions travel as text
             carried = None
-        return False, failure, carried, elapsed
-    return True, result, None, time.perf_counter() - started
+        entry = (False, failure, carried, elapsed)
+    else:
+        entry = (True, result, None, time.perf_counter() - started)
+    if telemetry:
+        job_span.set(ok=entry[0])
+        job_span.__exit__(None, None, None)
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
+        shipped = (job_tracer.spans, job_registry.snapshot())
+    return entry + (shipped,)
 
 
 def _chunk_entry(
-    payload: tuple[Callable, list, Any, Optional[FaultPlan]],
-) -> list[tuple[bool, Any, Optional[BaseException], float]]:
+    payload: tuple[Callable, list, Any, Optional[FaultPlan], bool],
+) -> list[tuple[bool, Any, Optional[BaseException], float, Optional[tuple]]]:
     """Pool entry point: execute one chunk of jobs (module-level so it pickles)."""
-    worker_fn, chunk_jobs, context, fault_plan = payload
-    return [_execute_job(worker_fn, job, context, fault_plan) for job in chunk_jobs]
+    worker_fn, chunk_jobs, context, fault_plan, telemetry = payload
+    return [
+        _execute_job(worker_fn, job, context, fault_plan, telemetry)
+        for job in chunk_jobs
+    ]
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -254,6 +286,7 @@ def run_jobs(
     retry_backoff: float = 0.0,
     isolate: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    tracer=None,
 ) -> list[Any]:
     """Map ``worker_fn`` over ``jobs``, fanning out across processes.
 
@@ -297,6 +330,13 @@ def run_jobs(
             hang cannot take down the calling process.
         fault_plan: optional :class:`~repro.runtime.faults.FaultPlan`
             injecting deterministic faults into chosen jobs (tests only).
+        tracer: optional :class:`~repro.obs.trace.Tracer`; defaults to the
+            process's ambient tracer.  When tracing is enabled, every job
+            runs under a worker-side span whose buffer ships back with the
+            result, and run counters (cache traffic, retries, timeouts,
+            quarantines, pool rebuilds) land in the ambient metrics
+            registry.  Telemetry is out-of-band: it never changes results,
+            cache keys, or output bytes.
 
     Returns:
         With ``on_error="raise"``: one result per job, in submission order,
@@ -311,6 +351,8 @@ def run_jobs(
         raise ValueError("run_jobs(cache=...) requires key_fn")
     jobs = list(jobs)
     outcomes: list[Optional[JobOutcome]] = [None] * len(jobs)
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = get_registry()
 
     pending = list(range(len(jobs)))
     keys: list[Optional[str]] = [None] * len(jobs)
@@ -348,11 +390,19 @@ def run_jobs(
             retry_backoff=retry_backoff,
             settle=settle,
             fail_fast=fail_fast,
+            tracer=tracer,
+            registry=registry,
         )
-        if pooled:
-            runner.run_pooled(pending, max(1, effective), chunksize)
-        else:
-            runner.run_serial(pending)
+        with tracer.span(
+            "run_jobs",
+            jobs=len(jobs),
+            pending=len(pending),
+            workers=max(1, effective) if pooled else 1,
+        ):
+            if pooled:
+                runner.run_pooled(pending, max(1, effective), chunksize)
+            else:
+                runner.run_serial(pending)
 
     if on_error == "quarantine":
         return outcomes
@@ -376,6 +426,8 @@ class _PendingRun:
         retry_backoff: float,
         settle: Callable[[int, JobOutcome], None],
         fail_fast: bool,
+        tracer=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.jobs = jobs
         self.worker_fn = worker_fn
@@ -386,6 +438,10 @@ class _PendingRun:
         self.retry_backoff = retry_backoff
         self.settle = settle
         self.fail_fast = fail_fast
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.registry = registry if registry is not None else get_registry()
+        #: Ship worker-side telemetry only when someone is collecting it.
+        self.telemetry = bool(getattr(self.tracer, "enabled", False))
         self.attempts: dict[int, int] = {}
         #: Jobs implicated in a pool loss or awaiting a retry: re-run as
         #: singleton chunks, one at a time, so failures are attributable.
@@ -398,6 +454,13 @@ class _PendingRun:
     def _charged(self, index: int) -> int:
         self.attempts[index] = self.attempts.get(index, 0) + 1
         return self.attempts[index]
+
+    def _ship(self, index: int, shipped: Optional[tuple]) -> None:
+        """Fold one job's piggybacked worker telemetry into the run's."""
+        if shipped:
+            spans, snapshot = shipped
+            self.tracer.absorb(spans, job=index)
+            self.registry.merge(snapshot)
 
     def _succeed(self, index: int, result: Any, elapsed: float) -> None:
         self.settle(
@@ -415,9 +478,13 @@ class _PendingRun:
         """Charge one failed attempt; returns True when the job may retry."""
         charged = self._charged(index)
         if charged < self.max_attempts:
+            self.registry.inc("runtime.retries")
             if self.retry_backoff > 0:
                 time.sleep(self.retry_backoff * charged)
             return True
+        self.registry.inc(labeled("runtime.failure", failure.phase))
+        if not self.fail_fast:
+            self.registry.inc("runtime.quarantined")
         outcome = JobOutcome(
             ok=False, failure=failure, attempts=charged, elapsed_s=elapsed, exception=exception
         )
@@ -428,7 +495,8 @@ class _PendingRun:
 
     def _absorb_chunk(self, chunk: Sequence[int], entries: list) -> None:
         """Fold one completed chunk's per-job entries into the run state."""
-        for index, (ok, payload, exception, elapsed) in zip(chunk, entries):
+        for index, (ok, payload, exception, elapsed, shipped) in zip(chunk, entries):
+            self._ship(index, shipped)
             if ok:
                 self._succeed(index, payload, elapsed)
             elif self._fail(index, payload, exception, elapsed):
@@ -436,11 +504,13 @@ class _PendingRun:
 
     def _lost_failure(self, phase: str) -> JobFailure:
         if phase == PHASE_TIMEOUT:
+            self.registry.inc("runtime.timeouts")
             return JobFailure(
                 phase=phase,
                 exception_type="JobTimeoutError",
                 message=f"job exceeded its {self.timeout}s timeout",
             )
+        self.registry.inc("runtime.worker_deaths")
         return JobFailure(
             phase=phase,
             exception_type="WorkerCrashError",
@@ -454,9 +524,14 @@ class _PendingRun:
     def run_serial(self, pending: Sequence[int]) -> None:
         for index in pending:
             while True:
-                ok, payload, exception, elapsed = _execute_job(
-                    self.worker_fn, self.jobs[index], self.context, self.fault_plan
+                ok, payload, exception, elapsed, shipped = _execute_job(
+                    self.worker_fn,
+                    self.jobs[index],
+                    self.context,
+                    self.fault_plan,
+                    self.telemetry,
                 )
+                self._ship(index, shipped)
                 if ok:
                     self._succeed(index, payload, elapsed)
                     break
@@ -481,7 +556,13 @@ class _PendingRun:
         def submit(pool: ProcessPoolExecutor, chunk: tuple[int, ...]) -> None:
             future = pool.submit(
                 _chunk_entry,
-                (self.worker_fn, [self.jobs[i] for i in chunk], self.context, self.fault_plan),
+                (
+                    self.worker_fn,
+                    [self.jobs[i] for i in chunk],
+                    self.context,
+                    self.fault_plan,
+                    self.telemetry,
+                ),
             )
             deadline = (
                 time.monotonic() + self.timeout * len(chunk)
@@ -523,6 +604,7 @@ class _PendingRun:
                         for chunk in lost:
                             self.suspects.extend(chunk)
                     _kill_pool(pool)
+                    self.registry.inc("runtime.pool_rebuilds")
                     pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
                     continue
                 if self.timeout is not None and inflight:
@@ -548,6 +630,7 @@ class _PendingRun:
                             queue.appendleft(chunk)
                         inflight.clear()
                         _kill_pool(pool)
+                        self.registry.inc("runtime.pool_rebuilds")
                         pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
             self._run_suspects(context)
         finally:
@@ -569,17 +652,25 @@ class _PendingRun:
                 index = self.suspects.popleft()
                 future = pool.submit(
                     _chunk_entry,
-                    (self.worker_fn, [self.jobs[index]], self.context, self.fault_plan),
+                    (
+                        self.worker_fn,
+                        [self.jobs[index]],
+                        self.context,
+                        self.fault_plan,
+                        self.telemetry,
+                    ),
                 )
                 try:
                     entries = future.result(timeout=self.timeout)
                 except FutureTimeoutError:
                     _kill_pool(pool)
+                    self.registry.inc("runtime.pool_rebuilds")
                     pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
                     if self._fail(index, self._lost_failure(PHASE_TIMEOUT), None, 0.0):
                         self.suspects.append(index)
                 except BrokenProcessPool:
                     _kill_pool(pool)
+                    self.registry.inc("runtime.pool_rebuilds")
                     pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
                     if self._fail(index, self._lost_failure(PHASE_WORKER_DEATH), None, 0.0):
                         self.suspects.append(index)

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.hdl import ast
 from repro.hdl.elaborate import AssertionSpec, ElaboratedDesign
+from repro.obs.metrics import get_registry, labeled
 from repro.sim.compile import CompileError, ExprCompiler
 from repro.sim.engine import SimulationError
 from repro.sim.trace import Trace
@@ -258,6 +259,12 @@ class CompiledAssertionChecker:
         self._names: list[str] = sorted(n for n in referenced if n in design.signals)
         self._slots: dict[str, int] = {name: i for i, name in enumerate(self._names)}
         self._lowered: dict[int, Optional[_LoweredAssertion]] = {}
+        #: Per-assertion engine decision: name -> {"engine": "vectorised" |
+        #: "closure" | "tree_walker", "reason": why it was demoted (None for
+        #: the vectorised engine)}.  A vectorisation regression used to be
+        #: invisible -- the checker silently fell back and only a 2.6x
+        #: slowdown hinted at it; now every demotion carries its reason.
+        self.engine_choices: dict[str, dict] = {}
         failed: list[str] = []
         for spec in design.assertions:
             lowered = self._lower(spec)
@@ -272,6 +279,31 @@ class CompiledAssertionChecker:
     @property
     def design(self) -> ElaboratedDesign:
         return self._design
+
+    def engine_report(self) -> dict:
+        """Which engine handles each assertion, and why any was demoted."""
+        counts = {"vectorised": 0, "closure": 0, "tree_walker": 0}
+        reasons: dict[str, int] = {}
+        for choice in self.engine_choices.values():
+            counts[choice["engine"]] += 1
+            if choice["reason"]:
+                reasons[choice["reason"]] = reasons.get(choice["reason"], 0) + 1
+        return {
+            "engines": counts,
+            "fallback_reasons": dict(sorted(reasons.items())),
+            "assertions": {
+                name: dict(choice)
+                for name, choice in sorted(self.engine_choices.items())
+            },
+        }
+
+    def _record_engine(self, spec: AssertionSpec, engine: str,
+                       reason: Optional[str]) -> None:
+        self.engine_choices[spec.name] = {"engine": engine, "reason": reason}
+        registry = get_registry()
+        registry.inc(f"sva.lower.{engine}")
+        if engine == "closure" and reason:
+            registry.inc(labeled("sva.vector_fallback", reason))
 
     # ------------------------------------------------------------------ #
     # lowering
@@ -305,15 +337,24 @@ class CompiledAssertionChecker:
                 disable_index = len(element_fns)
                 element_fns.append(compiler.compile(spec.disable_iff))
                 element_exprs.append(spec.disable_iff)
-        except CompileError:
+        except CompileError as exc:
+            self._record_engine(spec, "tree_walker", f"closure lowering failed: {exc}")
             return None
         # Closure lowering succeeded; try the whole-array lowering on top.
-        # A refusal (None) keeps this assertion on the closure path.
-        vector_fns = (
-            sva_vector.lower_elements(self._design, self._slots, element_exprs)
-            if self._vectorise
-            else None
-        )
+        # A refusal keeps this assertion on the closure path, with the
+        # refusing construct recorded as the demotion reason.
+        vector_fns = None
+        if self._vectorise:
+            try:
+                vector_fns = sva_vector.lower_elements(
+                    self._design, self._slots, element_exprs
+                )
+            except sva_vector.VectorError as exc:
+                self._record_engine(spec, "closure", str(exc))
+            else:
+                self._record_engine(spec, "vectorised", None)
+        else:
+            self._record_engine(spec, "closure", "vectorisation disabled")
         return _LoweredAssertion(
             spec, registry, element_fns, antecedent, consequent, disable_index,
             vector_fns,
@@ -341,6 +382,7 @@ class CompiledAssertionChecker:
         differential test asserts.
         """
         specs = assertions if assertions is not None else self._design.assertions
+        registry = get_registry()
         reports: list[CheckReport] = []
         prepared: list[Optional[_PreparedTrace]] = []
         for trace in traces:
@@ -349,6 +391,7 @@ class CompiledAssertionChecker:
                 # A referenced signal is missing from the trace samples; the
                 # tree-walker's per-expression EvalError semantics apply.
                 reports.append(self._oracle.check(trace, assertions))
+                registry.inc("sva.check.tree_walker", len(specs))
                 prepared.append(None)
             else:
                 reports.append(CheckReport())
@@ -365,6 +408,7 @@ class CompiledAssertionChecker:
                 for trace, prep, report in zip(traces, prepared, reports):
                     if prep is not None:
                         report.outcomes[spec.name] = self._oracle.check_assertion(spec, trace)
+                        registry.inc("sva.check.tree_walker")
                 continue
             try:
                 for prep, report in zip(prepared, reports):
@@ -372,10 +416,12 @@ class CompiledAssertionChecker:
                         continue
                     outcome = AssertionOutcome(name=spec.name)
                     if lowered.vector_fns is not None:
+                        registry.inc("sva.check.vectorised")
                         report.outcomes[spec.name] = self._evaluate_vector(
                             lowered, outcome, prep.cols(), prep.cycles
                         )
                     else:
+                        registry.inc("sva.check.closure")
                         rows_v, rows_x = prep.rows()
                         report.outcomes[spec.name] = self._evaluate_lowered(
                             lowered, outcome, rows_v, rows_x, prep.cycles

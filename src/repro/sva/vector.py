@@ -579,15 +579,14 @@ def lower_elements(
     design: ElaboratedDesign,
     slots: dict[str, int],
     expressions: list[ast.Expression],
-) -> Optional[list[tuple[VecFn, int]]]:
-    """Vector-lower one assertion's element expressions, or None on refusal.
+) -> list[tuple[VecFn, int]]:
+    """Vector-lower one assertion's element expressions.
 
-    All-or-nothing per assertion: one unvectorisable element sends the whole
-    assertion to the per-cycle closure path, keeping the fallback decision
-    (and therefore the differential surface) per assertion, not per element.
+    All-or-nothing per assertion: one unvectorisable element refuses the
+    whole assertion by raising :class:`VectorError` (whose message names the
+    construct that refused -- the caller records it as the demotion reason),
+    keeping the fallback decision (and therefore the differential surface)
+    per assertion, not per element.
     """
     compiler = VectorExprCompiler(design, slots)
-    try:
-        return [compiler.compile(expression) for expression in expressions]
-    except VectorError:
-        return None
+    return [compiler.compile(expression) for expression in expressions]
