@@ -2,19 +2,26 @@
 
 Times every leg of the repair-verification loop -- corpus + augmentation
 pipeline, policy training (pretrain -> SFT -> DPO with semantic challenging
-mining), and the SVA-Eval-Machine benchmark run cold and warm against the
-verdict cache -- and records the resulting pass@k trajectory in
-``BENCH_eval.json`` so successive PRs can track both the speed and the
-quality of the evaluation subsystem.
+mining), the SVA-Eval-Machine benchmark run cold and warm against the
+verdict cache, and the mutant-heavy artifact-cache leg (full recompilation
+vs content-addressed incremental relowering on cold verdict caches) -- and
+records the resulting pass@k trajectory in ``BENCH_eval.json`` so
+successive PRs can track both the speed and the quality of the evaluation
+subsystem.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_eval.py [--design-count N] [--output PATH]
+        [--min-relower-speedup X]
 
-Schema of the output (``bench_eval/v1``)::
+``--min-relower-speedup`` gates the run (exit 1) when the measured
+incremental-relowering speedup falls below ``X``; 0 (the default) only
+reports.
+
+Schema of the output (``bench_eval/v2``; v1 + the ``artifacts`` section)::
 
     {
-      "schema": "bench_eval/v1",
+      "schema": "bench_eval/v2",
       "config": {...},                       # scale knobs of this run
       "pipeline": {"wall_time_s", "sva_bug_entries", "eval_cases"},
       "training": {"wall_time_s", "stage", "challenging_cases"},
@@ -25,6 +32,21 @@ Schema of the output (``bench_eval/v1``)::
         "candidates_verified": <int>,
         "verdicts": {...},                   # status histogram
         "pass@k": {...}                      # the headline numbers
+      },
+      "artifacts": {                         # the mutant-heavy leg
+        "mode_off": {"wall_time_s"},         # full recompile per candidate
+        "mode_incremental_cold": {           # first run: fills the store
+          "wall_time_s", "artifact_hits", "artifact_misses", "nodes_reused"
+        },
+        "mode_incremental_warm": {           # repeat run against the store
+          "wall_time_s", "artifact_hits", "artifact_misses",
+          "nodes_reused", "nodes_relowered", "assertions_reused"
+        },
+        "e2e_speedup": <float>,              # off wall / warm wall
+        "relower": {                         # the lowering microbench
+          "entries", "reps", "full_s", "incremental_s", "speedup"
+        },
+        "min_relower_speedup": <float>       # the CI gate this run ran under
       }
     }
 """
@@ -40,10 +62,65 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.artifacts import ArtifactStore  # noqa: E402
 from repro.dataaug.pipeline import DataAugmentationPipeline, PipelineConfig  # noqa: E402
 from repro.eval.harness import EvalConfig, EvalHarness  # noqa: E402
+from repro.hdl.source import SourceFile  # noqa: E402
 from repro.model.assertsolver_model import AssertSolverModel  # noqa: E402
 from repro.obs import host_metadata  # noqa: E402
+from repro.obs.metrics import scoped_registry  # noqa: E402
+from repro.sim.compile import CompileError, compile_design  # noqa: E402
+from repro.sva.checker import CheckerBackend  # noqa: E402
+
+#: Relower-microbench sizing: mutants measured and timing repetitions each.
+RELOWER_ENTRIES = 10
+RELOWER_REPS = 3
+
+
+def relower_microbench(entries) -> dict:
+    """Time full vs incremental lowering over real eval-case mutants.
+
+    For each case the buggy source is the base (compiled once, as the
+    verifier does) and the golden-line repair is the mutant; the measured
+    work is exactly what each candidate verification pays before its first
+    simulated cycle: design lowering plus assertion lowering.
+    """
+    store = ArtifactStore()
+    full_wall = 0.0
+    incremental_wall = 0.0
+    measured = 0
+    for entry in entries[:RELOWER_ENTRIES]:
+        base_design, error = store.elaborate_source(entry.buggy_source)
+        if base_design is None:
+            continue
+        patched = SourceFile(entry.buggy_source).with_line_replaced(
+            entry.line_number, entry.golden_line
+        ).text
+        mutant_design, error = store.elaborate_source(patched)
+        if mutant_design is None:
+            continue
+        try:
+            base_compiled = compile_design(base_design)
+            base_checker = CheckerBackend(base_design)
+        except CompileError:
+            continue
+        measured += 1
+        for _ in range(RELOWER_REPS):
+            started = time.perf_counter()
+            compile_design(mutant_design)
+            CheckerBackend(mutant_design)
+            full_wall += time.perf_counter() - started
+            started = time.perf_counter()
+            compile_design(mutant_design, base=base_compiled)
+            CheckerBackend(mutant_design, base=base_checker)
+            incremental_wall += time.perf_counter() - started
+    return {
+        "entries": measured,
+        "reps": RELOWER_REPS,
+        "full_s": round(full_wall, 4),
+        "incremental_s": round(incremental_wall, 4),
+        "speedup": round(full_wall / max(incremental_wall, 1e-9), 2),
+    }
 
 
 def main() -> int:
@@ -59,6 +136,13 @@ def main() -> int:
     parser.add_argument("--ks", type=int, nargs="+", default=[1, 5])
     parser.add_argument(
         "--stage", choices=("sft", "dpo"), default="dpo", help="training depth to benchmark"
+    )
+    parser.add_argument(
+        "--min-relower-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when incremental relowering is not at least this "
+        "many times faster than full recompilation (0: report only)",
     )
     parser.add_argument(
         "--output",
@@ -125,8 +209,80 @@ def main() -> int:
     )
     print("pass rates            " + "  ".join(f"{k}={v:.3f}" for k, v in rates.items()))
 
+    # ---------------------------------------------------------------- #
+    # the mutant-heavy artifact-cache leg
+    # ---------------------------------------------------------------- #
+    # No verdict cache on any of these runs -- the verdict tier would
+    # short-circuit the verification work the artifact cache accelerates;
+    # all three runs do the same simulations and differ only in how
+    # compilation is served: "off" recompiles everything from scratch,
+    # "cold" fills the artifact store, "warm" re-verifies against the
+    # filled store (the verification-as-a-service steady state, where
+    # almost all traffic is mutants of already-seen designs).  Summaries
+    # must stay byte-identical, so the legs double as a live differential.
+    off_config = EvalConfig(
+        seed=args.seed, ks=tuple(sorted(set(args.ks))), workers=args.workers,
+        artifact_mode="off",
+    )
+    started = time.perf_counter()
+    mode_off = EvalHarness(off_config).run(model, datasets.sva_eval_machine)
+    off_wall = time.perf_counter() - started
+    with tempfile.TemporaryDirectory(prefix="bench_eval_artifacts_") as artifact_root:
+        incremental_config = EvalConfig(
+            seed=args.seed, ks=tuple(sorted(set(args.ks))), workers=args.workers,
+            artifact_mode="incremental", artifact_dir=Path(artifact_root),
+        )
+        with scoped_registry() as cold_registry:
+            started = time.perf_counter()
+            mode_cold = EvalHarness(incremental_config).run(
+                model, datasets.sva_eval_machine
+            )
+            inc_cold_wall = time.perf_counter() - started
+        with scoped_registry() as registry:
+            started = time.perf_counter()
+            mode_warm = EvalHarness(incremental_config).run(
+                model, datasets.sva_eval_machine
+            )
+            inc_warm_wall = time.perf_counter() - started
+    if mode_off.summary() != mode_cold.summary() or mode_off.summary() != mode_warm.summary():
+        print("FAIL: artifact-cache run summary differs from the full-recompile run")
+        return 1
+    if mode_off.summary() != summary:
+        print("FAIL: mutant-heavy leg summary differs from the verdict-cache leg")
+        return 1
+    counters = registry.counters
+    e2e_speedup = off_wall / max(inc_warm_wall, 1e-9)
+    print(
+        f"artifacts off         {off_wall:6.2f}s   full recompile per candidate"
+    )
+    print(
+        f"artifacts cold        {inc_cold_wall:6.2f}s   "
+        f"{cold_registry.counters.get('relower.nodes_reused', 0)} nodes reused "
+        f"while filling the store"
+    )
+    print(
+        f"artifacts warm        {inc_warm_wall:6.2f}s   "
+        f"{counters.get('artifact.hits', 0)} hits, "
+        f"{counters.get('relower.nodes_reused', 0)} nodes reused "
+        f"({e2e_speedup:.1f}x faster than off)"
+    )
+
+    relower = relower_microbench(datasets.sva_eval_machine)
+    print(
+        f"relower microbench    full {relower['full_s']:.3f}s vs "
+        f"incremental {relower['incremental_s']:.3f}s over "
+        f"{relower['entries']} mutants x{relower['reps']} "
+        f"({relower['speedup']:.1f}x)"
+    )
+    if args.min_relower_speedup > 0 and relower["speedup"] < args.min_relower_speedup:
+        print(
+            f"FAIL: relower speedup {relower['speedup']:.2f}x is below the "
+            f"--min-relower-speedup gate {args.min_relower_speedup:.2f}x"
+        )
+        return 1
+
     report = {
-        "schema": "bench_eval/v1",
+        "schema": "bench_eval/v2",
         "host": host_metadata(workers=args.workers),
         "config": {
             "scale": scale,
@@ -160,6 +316,26 @@ def main() -> int:
             "candidates_verified": summary["candidates_verified"],
             "verdicts": summary["verdicts"],
             "pass@k": rates,
+        },
+        "artifacts": {
+            "mode_off": {"wall_time_s": round(off_wall, 3)},
+            "mode_incremental_cold": {
+                "wall_time_s": round(inc_cold_wall, 3),
+                "artifact_hits": cold_registry.counters.get("artifact.hits", 0),
+                "artifact_misses": cold_registry.counters.get("artifact.misses", 0),
+                "nodes_reused": cold_registry.counters.get("relower.nodes_reused", 0),
+            },
+            "mode_incremental_warm": {
+                "wall_time_s": round(inc_warm_wall, 3),
+                "artifact_hits": counters.get("artifact.hits", 0),
+                "artifact_misses": counters.get("artifact.misses", 0),
+                "nodes_reused": counters.get("relower.nodes_reused", 0),
+                "nodes_relowered": counters.get("relower.nodes_lowered", 0),
+                "assertions_reused": counters.get("relower.assertions_reused", 0),
+            },
+            "e2e_speedup": round(e2e_speedup, 2),
+            "relower": relower,
+            "min_relower_speedup": args.min_relower_speedup,
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

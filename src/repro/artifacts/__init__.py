@@ -1,0 +1,51 @@
+"""Content-addressed compiled-artifact caching and incremental relowering.
+
+``repro.artifacts`` is the layer that makes verifying a one-line mutant
+cost one line's worth of lowering:
+
+* :mod:`repro.artifacts.canon` -- canonical design rendering,
+  :func:`design_fingerprint` (the content address) and per-node keys (the
+  unit of incremental relowering);
+* :mod:`repro.artifacts.store` -- :class:`ArtifactStore`: a bounded
+  in-process LRU of lowered simulators/checkers keyed by fingerprint, plus
+  an optional on-disk tier (over :class:`repro.runtime.cache.ResultCache`)
+  that shares elaborated designs across worker processes.
+
+Consumers: :class:`repro.eval.verifier.SemanticVerifier` (compiles each
+case's buggy base once and relowers candidates incrementally),
+:mod:`repro.eval.executor` (per-process stores with a shared disk tier),
+Stage 2 (:mod:`repro.dataaug.stage2`, golden-trace and per-mutant reuse)
+and :func:`repro.sva.checker.check_assertions`.
+"""
+
+from repro.artifacts.canon import (
+    FINGERPRINT_VERSION,
+    assertion_key,
+    assign_node_key,
+    block_node_key,
+    design_canonical_text,
+    design_fingerprint,
+    initial_node_key,
+)
+from repro.artifacts.store import (
+    DEFAULT_LRU_ENTRIES,
+    ELABORATION_VERSION,
+    ArtifactStore,
+    default_store,
+    process_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_LRU_ENTRIES",
+    "ELABORATION_VERSION",
+    "FINGERPRINT_VERSION",
+    "assertion_key",
+    "assign_node_key",
+    "block_node_key",
+    "default_store",
+    "design_canonical_text",
+    "design_fingerprint",
+    "initial_node_key",
+    "process_store",
+]

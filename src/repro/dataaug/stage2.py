@@ -160,8 +160,8 @@ class Stage2Result:
         )
 
 
-def _simulate(design: ElaboratedDesign, seed: int, cycles: int):
-    simulator = Simulator(design)
+def _simulate(design: ElaboratedDesign, seed: int, cycles: int, compiled=None):
+    simulator = Simulator(design, compiled=compiled)
     stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(random_cycles=cycles)
     trace = simulator.run(stimulus.vectors)
     return trace
@@ -212,11 +212,22 @@ class Stage2Runner:
         invariant trivially holds on its own mining trace, so validating
         there would be vacuous.
         """
+        from repro.artifacts import default_store
+
+        store = default_store()
         golden_compile = compile_source(sample.source)
         if not golden_compile.ok or golden_compile.design is None:
             return None, None
+        # The golden design's lowering is the relowering base for everything
+        # downstream: the augmented design adds only assertions (identical
+        # sim nodes, so it reuses 100% of them) and every mutant is a
+        # one-line variant of the augmented design.
+        golden_compiled = store.compiled_design(golden_compile.design)
         try:
-            golden_trace = _simulate(golden_compile.design, self._config.seed, self._config.random_cycles)
+            golden_trace = _simulate(
+                golden_compile.design, self._config.seed, self._config.random_cycles,
+                compiled=golden_compiled,
+            )
         except SimulationError:
             return None, None
 
@@ -244,9 +255,13 @@ class Stage2Runner:
         # trace can be produced from the golden design (compiled once above
         # would even suffice structurally) -- but it must use a different
         # stimulus seed than the mining trace to actually test anything.
+        augmented_compiled = store.compiled_design(
+            augmented_compile.design, base=golden_compiled
+        )
         try:
             validation_trace = _simulate(
-                augmented_compile.design, self._config.seed + 1, self._config.random_cycles
+                augmented_compile.design, self._config.seed + 1, self._config.random_cycles,
+                compiled=augmented_compiled,
             )
         except SimulationError:
             result.designs_without_valid_svas += 1
@@ -277,9 +292,24 @@ class Stage2Runner:
 
     def process_sample(self, sample: CorpusSample, result: Stage2Result) -> None:
         """Run the complete Stage 2 flow for one sample."""
+        from repro.artifacts import default_store
+
+        store = default_store()
         augmented_golden, golden_design = self.validated_assertions(sample, result)
         if augmented_golden is None or golden_design is None:
             return
+        # Every mutant below is a one-line variant of the augmented golden
+        # design, so its lowering (cached from validated_assertions) is the
+        # base each mutant relowers incrementally against; the checker base
+        # likewise (mutations touch logic, not the assertions, so assertion
+        # lowerings are reused wholesale).
+        base_compiled = store.compiled_design(golden_design)
+        try:
+            base_checker = store.checker(
+                golden_design, backend=self._config.checker_backend
+            )
+        except Exception:
+            base_checker = None
         bugs = self._sample_injector(sample).inject(sample.name, augmented_golden, golden_design)
         result.injected_bugs += len(bugs)
         for index, bug in enumerate(bugs):
@@ -287,15 +317,23 @@ class Stage2Runner:
             if not buggy_compile.ok or buggy_compile.design is None:
                 result.rejected_not_compiling += 1
                 continue
+            buggy_compiled = store.compiled_design(
+                buggy_compile.design, base=base_compiled
+            )
             stimulus_seed = self._config.seed + 101 + index
             try:
-                trace = _simulate(buggy_compile.design, stimulus_seed, self._config.random_cycles)
+                trace = _simulate(
+                    buggy_compile.design, stimulus_seed, self._config.random_cycles,
+                    compiled=buggy_compiled,
+                )
             except SimulationError:
                 result.rejected_not_compiling += 1
                 continue
-            report = check_assertions(
-                buggy_compile.design, trace, backend=self._config.checker_backend
-            )
+            report = store.checker(
+                buggy_compile.design,
+                backend=self._config.checker_backend,
+                base=base_checker,
+            ).check(trace)
             if report.passed:
                 result.verilog_bug.append(
                     VerilogBugEntry(

@@ -52,13 +52,28 @@ class ShardResult:
     cache_corrupt: int = 0
 
 
-def _run_job(job: VerificationJob, cache_dir: Optional[str]) -> ShardResult:
+def _run_job(job: VerificationJob, context) -> ShardResult:
     """Worker function: verify one job (module-level so it pickles)."""
+    cache_dir, artifact_dir, artifact_mode = context
     annotate(case=job.case_name, fixes=len(job.fixes))
     cache = VerdictCache(cache_dir) if cache_dir else None
+    artifacts = None
+    if artifact_mode != "off":
+        # One store per worker process (and per disk tier), shared across
+        # every job the worker handles: its LRU keeps each case's base
+        # artifacts warm, and the optional disk tier shares elaborated
+        # designs with every other worker.
+        from repro.artifacts import process_store
+
+        artifacts = process_store(artifact_dir)
     verifier = SemanticVerifier(
-        config=VerifierConfig(cycles=job.cycles, checker_backend=job.checker_backend),
+        config=VerifierConfig(
+            cycles=job.cycles,
+            checker_backend=job.checker_backend,
+            artifact_mode=artifact_mode,
+        ),
         cache=cache,
+        artifacts=artifacts,
     )
     result = ShardResult(case_name=job.case_name)
     for fix in job.fixes:
@@ -97,6 +112,8 @@ def run_verification_jobs(
     max_attempts: int = 1,
     fault_plan: Optional[FaultPlan] = None,
     tracer=None,
+    artifact_dir: Optional[Path | str] = None,
+    artifact_mode: str = "incremental",
 ) -> list[ShardResult]:
     """Verify every job through the shared runtime executor.
 
@@ -104,13 +121,20 @@ def run_verification_jobs(
     ``on_error="quarantine"``, a job whose worker fails (after
     ``max_attempts`` executions, or by exceeding ``job_timeout``) yields a
     shard of ``infra_error`` verdicts instead of aborting the run.
+
+    ``artifact_mode`` ("incremental" | "off") selects whether workers route
+    compilation through the per-process compiled-artifact cache;
+    ``artifact_dir`` adds its shared on-disk elaboration tier.  Neither
+    affects verdicts -- incremental relowering is byte-identical to full
+    recompilation for any worker count or cache state.
     """
     cache_arg = str(cache_dir) if cache_dir is not None else None
+    artifact_arg = str(artifact_dir) if artifact_dir is not None else None
     results = run_jobs(
         jobs,
         _run_job,
         workers=workers,
-        context=cache_arg,
+        context=(cache_arg, artifact_arg, artifact_mode),
         on_error=on_error,
         timeout=job_timeout,
         max_attempts=max_attempts,

@@ -72,6 +72,12 @@ class EvalConfig:
     #: fallback).  Telemetry only: the report is byte-identical with tracing
     #: on or off.
     trace_path: Optional[str] = None
+    #: Compiled-artifact cache mode for the verification workers
+    #: ("incremental" | "off") and the directory of its shared on-disk
+    #: elaboration tier (None: memory-only).  Wall-time only: reports are
+    #: byte-identical for either mode and any tier.
+    artifact_mode: str = "incremental"
+    artifact_dir: Optional[Path] = None
 
     @property
     def k(self) -> int:
@@ -338,6 +344,8 @@ class EvalHarness:
                 max_attempts=config.max_attempts,
                 fault_plan=self._fault_plan,
                 tracer=self._tracer,
+                artifact_dir=config.artifact_dir,
+                artifact_mode=config.artifact_mode,
             )
 
         report = EvalReport(engine=engine.name, ks=config.ks)

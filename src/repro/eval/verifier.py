@@ -126,6 +126,13 @@ class VerifierConfig:
     #: Assertion-checker backend: "auto" (compiled with tree-walking
     #: fallback), "compiled" or "interp" (the differential oracle).
     checker_backend: str = "auto"
+    #: "incremental" routes compilation through the artifact cache and
+    #: relowers each candidate against its case's buggy base; "off" compiles
+    #: every candidate from scratch (the historical path, kept for the
+    #: benchmark's cold leg and as an escape hatch).  Deliberately *not*
+    #: part of the verdict cache key: both modes are byte-identical in
+    #: verdicts, pinned by the differential tests.
+    artifact_mode: str = "incremental"
 
 
 class SemanticVerifier:
@@ -133,17 +140,32 @@ class SemanticVerifier:
 
     Verdicts are memoised in-process and, when a :class:`VerdictCache` is
     supplied, persisted content-addressed on disk so repeated evaluations
-    (and other worker processes) skip the simulation entirely.
+    (and other worker processes) skip the simulation entirely.  Compiled
+    artifacts (lowered simulators and checkers) come from an
+    :class:`~repro.artifacts.ArtifactStore`: each case's buggy base is
+    compiled once, and every candidate -- a one-line mutant of it -- is
+    relowered incrementally against that base.
     """
 
     def __init__(
         self,
         config: Optional[VerifierConfig] = None,
         cache: Optional[VerdictCache] = None,
+        artifacts=None,
     ):
         self.config = config or VerifierConfig()
         self.cache = cache
         self._memo: dict[str, RepairVerdict] = {}
+        self.artifacts = None
+        if self.config.artifact_mode != "off":
+            if artifacts is None:
+                from repro.artifacts import default_store
+
+                artifacts = default_store()
+            self.artifacts = artifacts
+        #: Per buggy source: its (compiled design, checker) base artifacts,
+        #: either of which may be None (uncompilable source / no base yet).
+        self._bases: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # fix application
@@ -215,7 +237,8 @@ class SemanticVerifier:
             else:
                 get_registry().inc("eval.verdict_cache.misses")
         if verdict is None:
-            verdict = self.verify_source(patched, seeds, cycles=cycles)
+            base = self._base_artifacts(buggy_source)
+            verdict = self.verify_source(patched, seeds, cycles=cycles, base=base)
             self._memo[key] = verdict
             if self.cache is not None:
                 self.cache.put(key, verdict.to_dict())
@@ -224,8 +247,41 @@ class SemanticVerifier:
         verdict.applied_line_number = line_number
         return verdict
 
+    def _base_artifacts(self, buggy_source: str) -> tuple:
+        """The buggy base's (compiled design, checker), compiled once per case.
+
+        Candidates are one-line mutants of their case's buggy source, so
+        these artifacts are the relowering base for every candidate of the
+        case.  Either element may be ``None`` (artifact mode off, or the
+        base itself does not compile) -- candidates then lower fully, which
+        is always correct.
+        """
+        if self.artifacts is None:
+            return (None, None)
+        cached = self._bases.get(buggy_source)
+        if cached is not None:
+            return cached
+        base_compiled = None
+        base_checker = None
+        design, _ = self.artifacts.elaborate_source(buggy_source)
+        if design is not None:
+            base_compiled = self.artifacts.compiled_design(design)
+            try:
+                base_checker = self.artifacts.checker(
+                    design, backend=self.config.checker_backend
+                )
+            except CompileError:
+                base_checker = None
+        result = (base_compiled, base_checker)
+        self._bases[buggy_source] = result
+        return result
+
     def verify_source(
-        self, patched_source: str, seeds: Sequence[int], cycles: Optional[int] = None
+        self,
+        patched_source: str,
+        seeds: Sequence[int],
+        cycles: Optional[int] = None,
+        base: tuple = (None, None),
     ) -> RepairVerdict:
         """Compile + simulate + check ``patched_source`` on every seed.
 
@@ -248,26 +304,56 @@ class SemanticVerifier:
         """
         seeds = tuple(seeds)
         cycles = self.config.cycles if cycles is None else cycles
+        base_compiled, base_checker = base
+        compiled = None
         with phase("verify.compile"):
-            result = compile_source(patched_source)
-            if not result.ok or result.design is None:
-                first_error = (
-                    result.errors[0].render() if result.errors else "compilation failed"
+            if self.artifacts is not None:
+                # Candidates are one-shot: read the disk tier through but
+                # never write to it (only base designs persist, in
+                # :meth:`_base_artifacts`).
+                design, first_error = self.artifacts.elaborate_source(
+                    patched_source, persist=False
                 )
-                return RepairVerdict(
-                    status="compile_fail", seeds=seeds, cycles=cycles, detail=first_error
-                )
-            design = result.design
-            # Lowered once per patched design, shared by every stimulus seed.
-            try:
-                checker = CheckerBackend(design, backend=self.config.checker_backend)
-            except CompileError:
-                # Only the strict "compiled" backend can raise (an assertion
-                # the lowering rejects).  Verification must yield a verdict,
-                # not an exception that aborts a whole eval run, and "auto"
-                # is outcome-identical, so degrade to the per-assertion
-                # fallback.
-                checker = CheckerBackend(design, backend="auto")
+                if design is None:
+                    return RepairVerdict(
+                        status="compile_fail", seeds=seeds, cycles=cycles,
+                        detail=first_error,
+                    )
+                # Lowered via the artifact cache (LRU hit for repeat
+                # candidates, incremental relowering against the case's
+                # buggy base otherwise); ``compiled`` stays None when the
+                # compiled backend rejects the design, and the Simulator
+                # factory falls back exactly as it always has.
+                compiled = self.artifacts.compiled_design(design, base=base_compiled)
+                try:
+                    checker = self.artifacts.checker(
+                        design, backend=self.config.checker_backend, base=base_checker
+                    )
+                except CompileError:
+                    checker = self.artifacts.checker(
+                        design, backend="auto", base=base_checker
+                    )
+            else:
+                result = compile_source(patched_source)
+                if not result.ok or result.design is None:
+                    first_error = (
+                        result.errors[0].render() if result.errors else "compilation failed"
+                    )
+                    return RepairVerdict(
+                        status="compile_fail", seeds=seeds, cycles=cycles,
+                        detail=first_error,
+                    )
+                design = result.design
+                # Lowered once per patched design, shared by every stimulus seed.
+                try:
+                    checker = CheckerBackend(design, backend=self.config.checker_backend)
+                except CompileError:
+                    # Only the strict "compiled" backend can raise (an
+                    # assertion the lowering rejects).  Verification must
+                    # yield a verdict, not an exception that aborts a whole
+                    # eval run, and "auto" is outcome-identical, so degrade
+                    # to the per-assertion fallback.
+                    checker = CheckerBackend(design, backend="auto")
         def simulate(seed: int):
             with phase("verify.simulate"):
                 stimulus = StimulusGenerator(design, seed=seed).mixed_stimulus(
@@ -280,7 +366,7 @@ class SemanticVerifier:
                 # candidate's columns are then built once per trace inside
                 # the batched checking pass.
                 options = SimulatorOptions(record_columns=True)
-                return Simulator(design, options).run(stimulus.vectors)
+                return Simulator(design, options, compiled=compiled).run(stimulus.vectors)
 
         exercised = False
 

@@ -106,14 +106,6 @@ class ElaboratedDesign:
     driver_lines: dict[str, list[int]] = field(default_factory=dict)
     source_module: Optional[ast.Module] = None
 
-    def __getstate__(self) -> dict:
-        # The assertion-checker cache (repro.sva.checker.check_assertions)
-        # holds compiled closures, which do not pickle; a design must stay
-        # shippable across process boundaries after being checked.
-        state = self.__dict__.copy()
-        state.pop("_checker_backend_cache", None)
-        return state
-
     # ------------------------------------------------------------------ #
     # queries used throughout the project
     # ------------------------------------------------------------------ #

@@ -26,6 +26,14 @@ _CACHE_COUNTERS = (
     "eval.verdict_cache.hits",
     "eval.verdict_cache.misses",
     "eval.memo.hits",
+    "artifact.hits",
+    "artifact.misses",
+    "artifact.evictions",
+    "artifact.disk.hits",
+    "artifact.disk.misses",
+    "relower.nodes_reused",
+    "relower.nodes_lowered",
+    "relower.assertions_reused",
 )
 _ENGINE_COUNTERS = (
     "sva.lower.vectorised",
@@ -145,6 +153,29 @@ def render_report(data: TraceData, top: int = 10) -> str:
         cache_lines.append(
             f"  verdict cache: {vhits} hits · {vmisses} misses"
             f" · hit rate {_hit_rate(vhits, vmisses)} · in-memory memo hits {memo}"
+        )
+    ahits = counters.get("artifact.hits", 0)
+    amisses = counters.get("artifact.misses", 0)
+    evictions = counters.get("artifact.evictions", 0)
+    if ahits or amisses:
+        cache_lines.append(
+            f"  artifact cache: {ahits} hits · {amisses} misses"
+            f" · hit rate {_hit_rate(ahits, amisses)} · evictions {evictions}"
+        )
+    dhits = counters.get("artifact.disk.hits", 0)
+    dmisses = counters.get("artifact.disk.misses", 0)
+    if dhits or dmisses:
+        cache_lines.append(
+            f"  artifact disk tier: {dhits} hits · {dmisses} misses"
+            f" · hit rate {_hit_rate(dhits, dmisses)}"
+        )
+    reused = counters.get("relower.nodes_reused", 0)
+    relowered = counters.get("relower.nodes_lowered", 0)
+    specs_reused = counters.get("relower.assertions_reused", 0)
+    if reused or relowered or specs_reused:
+        cache_lines.append(
+            f"  relowering: {reused} nodes reused · {relowered} nodes relowered"
+            f" · {specs_reused} assertions reused"
         )
     if cache_lines:
         lines += ["", "caches:"] + cache_lines

@@ -39,7 +39,16 @@ def content_key(*parts: str) -> str:
 
 
 class ResultCache:
-    """A directory of ``<key-prefix>/<key>.json`` result files."""
+    """A two-level sharded directory of ``<k[:2]>/<k[2:4]>/<key>.json`` files.
+
+    Two levels of hash-prefix sharding keep every directory small (256
+    entries of fanout each) at the 10k+ entry counts artifact and verdict
+    caches reach, where a flat directory degrades listing and creation.
+    Entries written by older layouts -- flat ``<key>.json`` and one-level
+    ``<k[:2]>/<key>.json`` -- are still read transparently; new writes
+    always land in the sharded layout, so legacy entries age out naturally
+    as versions bump rather than via a migration step.
+    """
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
@@ -65,7 +74,12 @@ class ResultCache:
         touched, so concurrent writers in other processes are never raced.
         """
         cutoff = time.time() - self.STALE_TMP_SECONDS
-        for stale in self.root.glob("*/*.json.tmp*"):
+        stale_candidates = (
+            stale
+            for pattern in ("*/*/*.json.tmp*", "*/*.json.tmp*", "*.json.tmp*")
+            for stale in self.root.glob(pattern)
+        )
+        for stale in stale_candidates:
             try:
                 if stale.stat().st_mtime < cutoff:
                     stale.unlink()
@@ -75,7 +89,12 @@ class ResultCache:
                 pass
 
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self.root / key[:2] / key[2:4] / f"{key}.json"
+
+    def _legacy_paths(self, key: str):
+        """Where older cache layouts stored this key (read-through only)."""
+        yield self.root / key[:2] / f"{key}.json"  # one-level sharding
+        yield self.root / f"{key}.json"  # original flat layout
 
     def get(self, key: str) -> Optional[dict]:
         """The stored payload, or ``None`` on a miss.
@@ -84,10 +103,14 @@ class ResultCache:
         corruption) counts as both a miss and a corrupt entry; the caller
         recomputes and :meth:`put` overwrites the bad file.
         """
-        path = self._path(key)
-        try:
-            text = path.read_text()
-        except OSError:
+        text = None
+        for path in (self._path(key), *self._legacy_paths(key)):
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            break
+        if text is None:
             self.misses += 1
             get_registry().inc("runtime.cache.misses")
             return None
@@ -122,4 +145,8 @@ class ResultCache:
         }
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1
+            for pattern in ("*/*/*.json", "*/*.json", "*.json")
+            for _ in self.root.glob(pattern)
+        )

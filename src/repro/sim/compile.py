@@ -725,10 +725,52 @@ def _toposort(order: list[int], edges: dict[int, set[int]]) -> list[int]:
     return result
 
 
-class CompiledDesign:
-    """One design lowered to closures, ready to instantiate simulators from."""
+def _relower_incompatibility(
+    base: "CompiledDesign", design: ElaboratedDesign
+) -> Optional[str]:
+    """Why ``base``'s closures cannot be reused for ``design`` (None: they can).
 
-    def __init__(self, design: ElaboratedDesign):
+    Reused closures capture slot indices, widths/masks and parameter values
+    as constants, so incremental relowering requires the whole signal table
+    and parameter environment to be identical; anything else falls back to a
+    full recompile (correct, just slower).
+    """
+    names = sorted(design.signals)
+    if base.names != names:
+        return "signal table changed"
+    if base.widths != [design.signals[n].width for n in names]:
+        return "signal widths changed"
+    if base.is_input != [design.signals[n].is_input for n in names]:
+        return "port directions changed"
+    if base.design.parameters != design.parameters:
+        return "parameters changed"
+    return None
+
+
+class CompiledDesign:
+    """One design lowered to closures, ready to instantiate simulators from.
+
+    With a ``base`` (a previously compiled, signal-table-identical design --
+    in practice the unpatched design a candidate repair mutates), lowering
+    is *incremental*: every node whose content key
+    (:mod:`repro.artifacts.canon`) is unchanged reuses the base's closures
+    verbatim, and only the dirty cone -- the nodes the patch actually
+    touched -- is relowered.  The dependency levels and settle schedule are
+    recomputed from the new node graph either way, so an incremental lower
+    is byte-identical to a full recompile by construction (and pinned so by
+    ``tests/test_artifacts.py``).
+    """
+
+    def __init__(self, design: ElaboratedDesign, base: Optional["CompiledDesign"] = None):
+        # Imported here (not at module top) to keep this module importable
+        # before the repro.artifacts package exists in partial checkouts;
+        # canon depends only on repro.hdl, so there is no cycle either way.
+        from repro.artifacts.canon import (
+            assign_node_key,
+            block_node_key,
+            initial_node_key,
+        )
+
         self.design = design
         self.names: list[str] = sorted(design.signals)
         self.slots: dict[str, int] = {name: i for i, name in enumerate(self.names)}
@@ -736,18 +778,50 @@ class CompiledDesign:
         self.masks: list[int] = [(1 << w) - 1 for w in self.widths]
         self.is_input: list[bool] = [design.signals[n].is_input for n in self.names]
 
+        #: Why an offered base was rejected (None: no base, or it was used).
+        self.relower_fallback_reason: Optional[str] = None
+        self.relower_nodes_reused = 0
+        self.relower_nodes_total = 0
+        if base is not None:
+            self.relower_fallback_reason = _relower_incompatibility(base, design)
+            if self.relower_fallback_reason is not None:
+                base = None
+
+        # Per-node reuse indexes: content key -> lowered state.  They make
+        # this instance usable as the ``base`` of the next incremental
+        # lower, whether it was itself lowered fully or incrementally.
+        self._assign_index: dict[str, Callable] = {}
+        self._comb_index: dict[str, Callable] = {}
+        self._seq_index: dict[str, _CompiledBlock] = {}
+        self._init_index: dict[str, list[StmtFn]] = {}
+        base_assigns = base._assign_index if base is not None else {}
+        base_combs = base._comb_index if base is not None else {}
+        base_seqs = base._seq_index if base is not None else {}
+        base_inits = base._init_index if base is not None else {}
+
         expr = _ExprCompiler(design, self.slots)
         stmt = _StmtCompiler(design, self.slots, expr)
 
         # -- settle nodes: continuous assigns + comb blocks ------------- #
         raw_nodes: list[tuple[Callable, set[str], set[str]]] = []
         for assign in design.continuous_assigns:
-            runner = self._make_assign_runner(assign, expr)
+            key = assign_node_key(assign)
+            runner = base_assigns.get(key)
+            if runner is None:
+                runner = self._make_assign_runner(assign, expr)
+            else:
+                self.relower_nodes_reused += 1
+            self._assign_index[key] = runner
             writes = set(ast._target_names(assign.target))
             raw_nodes.append((runner, _assign_reads(assign), writes))
         for block in design.comb_blocks:
-            stmts = stmt.compile_body(block.body)
-            runner = self._make_comb_runner(stmts)
+            key = block_node_key(block)
+            runner = base_combs.get(key)
+            if runner is None:
+                runner = self._make_comb_runner(stmt.compile_body(block.body))
+            else:
+                self.relower_nodes_reused += 1
+            self._comb_index[key] = runner
             writes = set(ast.assignment_targets(block.body))
             raw_nodes.append((runner, _block_reads(block.body), writes))
 
@@ -793,12 +867,42 @@ class CompiledDesign:
                     self.writer_nodes[slot].append(new_id)
 
         # -- clocked and initial blocks --------------------------------- #
-        self.seq_blocks: list[_CompiledBlock] = [
-            self._compile_block(block, stmt) for block in design.seq_blocks
-        ]
-        self.initial_bodies: list[list[StmtFn]] = [
-            stmt.compile_body(initial.body) for initial in design.initial_blocks
-        ]
+        self.seq_blocks: list[_CompiledBlock] = []
+        for block in design.seq_blocks:
+            key = block_node_key(block)
+            compiled = base_seqs.get(key)
+            if compiled is None:
+                compiled = self._compile_block(block, stmt)
+            else:
+                self.relower_nodes_reused += 1
+            self._seq_index[key] = compiled
+            self.seq_blocks.append(compiled)
+        self.initial_bodies: list[list[StmtFn]] = []
+        for initial in design.initial_blocks:
+            key = initial_node_key(initial)
+            body = base_inits.get(key)
+            if body is None:
+                body = stmt.compile_body(initial.body)
+            else:
+                self.relower_nodes_reused += 1
+            self._init_index[key] = body
+            self.initial_bodies.append(body)
+
+        self.relower_nodes_total = (
+            len(design.continuous_assigns)
+            + len(design.comb_blocks)
+            + len(design.seq_blocks)
+            + len(design.initial_blocks)
+        )
+        if base is not None or self.relower_fallback_reason is not None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+            registry.inc("relower.nodes_reused", self.relower_nodes_reused)
+            registry.inc(
+                "relower.nodes_lowered",
+                self.relower_nodes_total - self.relower_nodes_reused,
+            )
 
     # -- node runners ---------------------------------------------------- #
 
@@ -888,9 +992,17 @@ class CompiledDesign:
         )
 
 
-def compile_design(design: ElaboratedDesign) -> CompiledDesign:
-    """Lower ``design`` for the compiled backend (raises :class:`CompileError`)."""
-    return CompiledDesign(design)
+def compile_design(
+    design: ElaboratedDesign, base: Optional[CompiledDesign] = None
+) -> CompiledDesign:
+    """Lower ``design`` for the compiled backend (raises :class:`CompileError`).
+
+    With ``base`` -- a previously compiled design sharing the same signal
+    table and parameters, typically the unpatched design a candidate repair
+    mutates -- only the nodes the patch touched are relowered; everything
+    else reuses the base's closures (see :class:`CompiledDesign`).
+    """
+    return CompiledDesign(design, base=base)
 
 
 # --------------------------------------------------------------------------- #

@@ -297,7 +297,11 @@ class InterpSimulator:
         return before == 0 and after == 1
 
 
-def Simulator(design: ElaboratedDesign, options: Optional[SimulatorOptions] = None):
+def Simulator(
+    design: ElaboratedDesign,
+    options: Optional[SimulatorOptions] = None,
+    compiled=None,
+):
     """Build a simulator for ``design``, choosing the fastest usable backend.
 
     With ``options.backend == "auto"`` (the default) the design is lowered by
@@ -305,6 +309,11 @@ def Simulator(design: ElaboratedDesign, options: Optional[SimulatorOptions] = No
     does not support fall back to the tree-walking :class:`InterpSimulator`.
     ``"compiled"`` and ``"interp"`` force one backend (``"compiled"`` raises
     :class:`SimulationError` when the design cannot be compiled).
+
+    ``compiled`` is an optional pre-lowered
+    :class:`~repro.sim.compile.CompiledDesign` for this design (e.g. from the
+    compiled-artifact cache): the compiled backend instantiates from it
+    instead of lowering again.  The ``"interp"`` backend ignores it.
 
     Both backends expose the same API (``step``/``run``/``trace``/``value``/
     ``peek``) and produce `equals()`-identical traces.
@@ -321,7 +330,7 @@ def Simulator(design: ElaboratedDesign, options: Optional[SimulatorOptions] = No
     from repro.sim.compile import CompiledSimulator, CompileError
 
     try:
-        return CompiledSimulator(design, options=options)
+        return CompiledSimulator(design, options=options, compiled=compiled)
     except CompileError as exc:
         if backend == "compiled":
             raise SimulationError(f"design cannot be compiled: {exc}") from exc

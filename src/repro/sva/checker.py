@@ -27,8 +27,8 @@ Two checker backends implement these semantics:
   the way :mod:`repro.sim.compile` lowers designs.
 
 Use the :func:`CheckerBackend` factory (or :func:`check_assertions`, which
-also caches the lowered checker on the design) unless you need a specific
-backend.
+routes through the process-wide compiled-artifact cache) unless you need a
+specific backend.
 """
 
 from __future__ import annotations
@@ -421,7 +421,7 @@ class AssertionChecker:
             return LogicValue.from_int(int(current.to_int() != previous.to_int()), 1)
         return LogicValue.unknown(1)
 
-def CheckerBackend(design: ElaboratedDesign, backend: str = "auto"):
+def CheckerBackend(design: ElaboratedDesign, backend: str = "auto", base=None):
     """Build an assertion checker for ``design``, mirroring :func:`Simulator`.
 
     ``"auto"`` (the default) lowers every assertion with the compiled backend
@@ -430,6 +430,11 @@ def CheckerBackend(design: ElaboratedDesign, backend: str = "auto"):
     the auto backend never fails to construct.  ``"compiled"`` additionally
     raises :class:`repro.sim.compile.CompileError` when any assertion could
     not be lowered; ``"interp"`` forces the tree-walking oracle.
+
+    ``base`` is an optional previously built checker for a signal-compatible
+    design (typically the unpatched base of a candidate repair): assertions
+    whose content key is unchanged reuse its lowering verbatim.  It is
+    ignored by the ``"interp"`` backend and by non-compiled base instances.
 
     Both backends expose the same ``check(trace, assertions=None)`` API and
     produce outcome-identical :class:`CheckReport` objects.
@@ -443,7 +448,9 @@ def CheckerBackend(design: ElaboratedDesign, backend: str = "auto"):
     # Imported lazily: repro.sva.compile imports from this module.
     from repro.sva.compile import CompiledAssertionChecker
 
-    return CompiledAssertionChecker(design, strict=backend == "compiled")
+    if not isinstance(base, CompiledAssertionChecker):
+        base = None
+    return CompiledAssertionChecker(design, strict=backend == "compiled", base=base)
 
 
 def check_assertions(
@@ -451,18 +458,14 @@ def check_assertions(
 ) -> CheckReport:
     """Check all assertions of ``design`` over ``trace``.
 
-    The checker instance is cached on the design object (at most one per
-    backend name), so callers that check the same design object on several
-    traces pay the one-off assertion lowering once.  Single-check callers
-    like Stage 2 -- which compiles a fresh design per mutant -- only pay
-    the lowering itself; long-lived multi-trace consumers such as
-    :class:`repro.eval.verifier.SemanticVerifier` hold a
-    :func:`CheckerBackend` instance directly instead of going through this
-    helper.
+    The lowered checker comes from the process-wide artifact cache
+    (:func:`repro.artifacts.default_store`), keyed by the design's content
+    fingerprint and the backend name: callers that check the same design --
+    or *any* equal-fingerprint elaboration of it -- on several traces pay
+    the one-off assertion lowering once, and the cache's LRU bound means
+    lowered closures no longer live exactly as long as the design object
+    that happened to first reach this helper.
     """
-    cache = design.__dict__.setdefault("_checker_backend_cache", {})
-    checker = cache.get(backend)
-    if checker is None:
-        checker = CheckerBackend(design, backend=backend)
-        cache[backend] = checker
-    return checker.check(trace)
+    from repro.artifacts import default_store
+
+    return default_store().checker(design, backend=backend).check(trace)

@@ -247,7 +247,10 @@ class CompiledAssertionChecker:
     """
 
     def __init__(self, design: ElaboratedDesign, strict: bool = False,
-                 vectorise: bool = True):
+                 vectorise: bool = True,
+                 base: Optional["CompiledAssertionChecker"] = None):
+        from repro.artifacts.canon import assertion_key
+
         self._design = design
         self._oracle = AssertionChecker(design)
         #: False forces the per-cycle closure path even for assertions the
@@ -259,6 +262,20 @@ class CompiledAssertionChecker:
         self._names: list[str] = sorted(n for n in referenced if n in design.signals)
         self._slots: dict[str, int] = {name: i for i, name in enumerate(self._names)}
         self._lowered: dict[int, Optional[_LoweredAssertion]] = {}
+        #: Content key -> (lowered state, engine choice): the reuse index an
+        #: incremental lower against this checker as ``base`` consults.  An
+        #: assertion whose support cone intersects a patch's dirty set has a
+        #: changed key (its rendered expressions differ) and misses here;
+        #: everything else -- in the common one-line-repair case, *all*
+        #: assertions, since repairs mutate design logic rather than the
+        #: properties -- reuses its lowering verbatim.
+        self._spec_index: dict[
+            str, tuple[Optional[_LoweredAssertion], dict]
+        ] = {}
+        self.assertions_reused = 0
+        if base is not None and not self._reuse_compatible(base):
+            base = None
+        base_index = base._spec_index if base is not None else {}
         #: Per-assertion engine decision: name -> {"engine": "vectorised" |
         #: "closure" | "tree_walker", "reason": why it was demoted (None for
         #: the vectorised engine)}.  A vectorisation regression used to be
@@ -267,7 +284,16 @@ class CompiledAssertionChecker:
         self.engine_choices: dict[str, dict] = {}
         failed: list[str] = []
         for spec in design.assertions:
-            lowered = self._lower(spec)
+            key = assertion_key(spec)
+            cached = base_index.get(key)
+            if cached is not None:
+                lowered, choice = cached
+                self.engine_choices[spec.name] = dict(choice)
+                self.assertions_reused += 1
+                get_registry().inc("relower.assertions_reused")
+            else:
+                lowered = self._lower(spec)
+            self._spec_index[key] = (lowered, self.engine_choices[spec.name])
             self._lowered[id(spec)] = lowered
             if lowered is None:
                 failed.append(spec.name)
@@ -275,6 +301,23 @@ class CompiledAssertionChecker:
             raise CompileError(
                 "assertions cannot be lowered: " + ", ".join(sorted(failed))
             )
+
+    def _reuse_compatible(self, base: "CompiledAssertionChecker") -> bool:
+        """Whether ``base``'s lowered assertions can be reused here.
+
+        Lowered element closures capture slot indices into this checker's
+        private signal table plus signal widths and parameter values, so
+        reuse needs all three to match (the table only covers signals the
+        assertions reference, which one-line logic repairs never change).
+        """
+        if not isinstance(base, CompiledAssertionChecker):
+            return False
+        if base._vectorise != self._vectorise or base._names != self._names:
+            return False
+        for name in self._names:
+            if base._design.signals[name].width != self._design.signals[name].width:
+                return False
+        return base._design.parameters == self._design.parameters
 
     @property
     def design(self) -> ElaboratedDesign:
@@ -609,7 +652,18 @@ class CompiledAssertionChecker:
 
 
 def compile_assertions(
-    design: ElaboratedDesign, strict: bool = False, vectorise: bool = True
+    design: ElaboratedDesign,
+    strict: bool = False,
+    vectorise: bool = True,
+    base: Optional[CompiledAssertionChecker] = None,
 ) -> CompiledAssertionChecker:
-    """Lower ``design``'s assertions for the compiled checker backend."""
-    return CompiledAssertionChecker(design, strict=strict, vectorise=vectorise)
+    """Lower ``design``'s assertions for the compiled checker backend.
+
+    With ``base`` (a checker for a signal-compatible design, typically the
+    unpatched base of a candidate repair), assertions whose content key is
+    unchanged reuse the base's lowering; only assertions whose support cone
+    the patch touched are relowered.
+    """
+    return CompiledAssertionChecker(
+        design, strict=strict, vectorise=vectorise, base=base
+    )

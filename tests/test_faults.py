@@ -235,7 +235,7 @@ def test_corrupt_cache_entries_read_as_misses_and_are_overwritten(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     key = content_key("v1", "x")
     cache.put(key, {"answer": 1})
-    entry = next((tmp_path / "cache").glob("*/*.json"))
+    entry = next((tmp_path / "cache").glob("*/*/*.json"))
     entry.write_text('{"answer": 1')  # truncated mid-write by a crash
 
     reopened = ResultCache(tmp_path / "cache")

@@ -47,7 +47,7 @@ def test_pipeline_is_cache_state_invariant(tmp_path):
     uncached = DataAugmentationPipeline(PipelineConfig.small(seed=31, workers=2)).run()
     assert dataset_bytes(cold) == dataset_bytes(warm)
     assert dataset_bytes(cold) == dataset_bytes(uncached)
-    assert list((tmp_path / "stage2").glob("*/*.json"))  # the cache was filled
+    assert list((tmp_path / "stage2").glob("*/*/*.json"))  # the cache was filled
 
 
 def test_pipeline_records_stage_timings():

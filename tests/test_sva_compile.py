@@ -204,15 +204,24 @@ def test_checker_backend_factory_dispatch():
         CheckerBackend(design, backend="fpga")
 
 
-def test_check_assertions_caches_checker_per_design():
+def test_check_assertions_caches_checker_in_artifact_store():
+    # The lowered checker lives in the process-wide artifact cache keyed by
+    # content fingerprint -- not as a hidden attribute pinned on the design
+    # object -- so repeat checks reuse one lowering, the design still
+    # pickles, and even a *fresh elaboration* of the same source hits.
+    import pickle
+
+    from repro.artifacts import default_store
+
     design = shift2_design()
     trace = shift2_trace(design)
     first = check_assertions(design, trace)
-    cache = design.__dict__["_checker_backend_cache"]
-    assert "auto" in cache
-    checker = cache["auto"]
+    assert "_checker_backend_cache" not in design.__dict__
+    checker = default_store().checker(design)
     second = check_assertions(design, trace)
-    assert design.__dict__["_checker_backend_cache"]["auto"] is checker
+    assert default_store().checker(design) is checker
+    assert default_store().checker(shift2_design()) is checker
+    pickle.dumps(design)
     for name in first.outcomes:
         assert outcome_fields(first.outcomes[name]) == outcome_fields(second.outcomes[name])
 
