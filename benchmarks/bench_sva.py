@@ -16,10 +16,10 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_sva.py [--cycles N] [--output PATH]
 
-Schema of the output (``bench_sva/v3``)::
+Schema of the output (``bench_sva/v4``)::
 
     {
-      "schema": "bench_sva/v3",
+      "schema": "bench_sva/v4",
       "cycles_per_family": <int>,            # trace length per microbench
       "timing_repeats": <int>,               # best-of-N wall-clock policy
       "microbenchmarks": {
@@ -27,24 +27,31 @@ Schema of the output (``bench_sva/v3``)::
           "assertions": <int>,
           "cycles": <int>,
           "interp_checks_per_s": <float>,    # tree-walking full-trace checks/s
-          "compiled_checks_per_s": <float>,  # default = vectorised engine
+          "compiled_checks_per_s": <float>,  # default = attempt-tensor engine
+          "walk_checks_per_s": <float>,      # vectorised series + Python walk
           "closure_checks_per_s": <float>,   # per-cycle closure path (vectorise=False)
           "lower_ms": <float>,               # one-off assertion lowering cost
-          "speedup": <float>,                # vectorised vs tree-walker
-          "vector_speedup": <float>,         # vectorised vs closure path
-          "batch_speedup": <float>           # check_batch vs per-trace check
+          "speedup": <float>,                # default engine vs tree-walker
+          "vector_speedup": <float>,         # vectorised series vs closure path
+          "attempt_speedup": <float>,        # attempt tensor vs Python walk
+          "batch_speedup": <float>           # stacked check_batch vs per-trace check
         }, ...
       },
       "geomean_speedup": <float>,
       "min_speedup": <float>,
-      "vectorised": {                        # columnar engine vs closure path
+      "vectorised": {                        # columnar series vs closure path
         "geomean_speedup": <float>,
         "min_speedup": <float>
       },
-      "batch": {                             # multi-trace single-pass leg
+      "attempt_tensor": {                    # 2-D attempt resolution vs walk
+        "geomean_speedup": <float>,
+        "min_speedup": <float>
+      },
+      "batch": {                             # seed-stacked single-pass leg
         "traces": <int>,                     # seed-trace batch size (verifier shape)
         "cycles": <int>,
-        "geomean_speedup": <float>
+        "geomean_speedup": <float>,
+        "min_speedup": <float>
       },
       "verifier": {                          # repro.eval end-to-end leg
         "cases": <int>,
@@ -54,18 +61,21 @@ Schema of the output (``bench_sva/v3``)::
       }
     }
 
-v3 adds the vectorised leg: the compiled checker now evaluates element and
-sampled-value series as whole-trace numpy array expressions over the
-columnar trace view (``Trace.columns()``), and ``vector_speedup`` records
-what that buys over the previous per-cycle closure path on the same trace
-(``closure_checks_per_s``, still reachable via ``vectorise=False``).  The
-run hard-fails on any verdict divergence between the tree-walker, the
-closure path and the vectorised path, batched or not.
+v4 adds the attempt-tensor leg: the compiled checker now resolves every
+attempt of a vectorised assertion in one whole-array (attempt x cycle)
+numpy expression (:func:`repro.sva.vector.walk_attempts_tensor`), and
+``check_batch`` stacks a batch's per-seed columns into one padded
+(seed x cycle) grid so each assertion covers all seeds in a single 2-D
+pass.  ``walk_checks_per_s`` keeps the previous generation (vectorised
+series + Python attempt walk, ``attempt_tensor=False``) measurable;
+``attempt_speedup`` records what the tensor buys over it, and
+``vector_speedup`` still compares the series engines like-for-like (both
+on the Python walk).  The run hard-fails on any verdict divergence
+between the tree-walker, the closure path, the walk path and the tensor
+path, batched or not.
 
-v2 added the batch leg: the verifier pushes all of a candidate's seed
-traces through the lowered checker in one ``check_batch`` pass, and
-``batch_speedup`` records what that single pass buys over per-trace
-``check`` calls (dispatch amortisation only).
+v3 added the vectorised-series leg; v2 added the batch leg (the verifier
+pushes all of a candidate's seed traces through one ``check_batch`` pass).
 """
 
 from __future__ import annotations
@@ -127,6 +137,14 @@ BATCH_TRACES = 2
 BATCH_CYCLES = 96
 
 
+def _assert_verdicts_identical(family_name: str, baseline, other, label: str) -> None:
+    for name in baseline.outcomes:
+        if baseline.outcomes[name].comparison_key() != other.outcomes[name].comparison_key():
+            raise RuntimeError(
+                f"{family_name}: {label} disagrees on assertion '{name}'"
+            )
+
+
 def bench_family(family, cycles: int, repeat: int) -> dict | None:
     source = augmented_source(family)
     if source is None:
@@ -138,7 +156,7 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
     if not design.assertions:
         return None
     vectors = StimulusGenerator(design, seed=2).mixed_stimulus(random_cycles=cycles).vectors
-    # Fully materialised: both backends read the same dict-backed samples, so
+    # Fully materialised: all backends read the same dict-backed samples, so
     # the comparison isolates checking cost from trace materialisation.
     trace = Simulator(design).run(vectors).materialized()
 
@@ -150,13 +168,20 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
     lower_ms = (time.perf_counter() - start) * 1e3
     compiled_s = _best_of(repeat, lambda: compiled.check(trace))
 
-    # The previous engine generation: same lowering, per-cycle closure
-    # series instead of whole-array evaluation, on the very same trace.
+    # The previous engine generation: same vectorised series, per-attempt
+    # Python walk instead of the whole-array attempt tensor.
+    walk = CompiledAssertionChecker(design, strict=True, attempt_tensor=False)
+    walk_s = _best_of(repeat, lambda: walk.check(trace))
+
+    # Two generations back: same lowering, per-cycle closure series instead
+    # of whole-array evaluation, on the very same trace.
     closure = CompiledAssertionChecker(design, strict=True, vectorise=False)
     closure_s = _best_of(repeat, lambda: closure.check(trace))
 
     # Multi-trace batch leg: all seed traces through one check_batch pass
     # (what the verifier does per candidate) vs one check call per trace.
+    # The batched pass stacks the per-seed columns into one (seed x cycle)
+    # grid and resolves each attempt-tensor assertion for all seeds at once.
     batch = [
         Simulator(design).run(
             StimulusGenerator(design, seed=100 + index)
@@ -169,30 +194,27 @@ def bench_family(family, cycles: int, repeat: int) -> dict | None:
     batched_s = _best_of(repeat, lambda: compiled.check_batch(batch))
 
     # The benchmark doubles as a differential guard and hard-fails on any
-    # verdict divergence: tree-walker vs vectorised vs closure path, plus
-    # the batched pass against per-trace checking.
-    left, right, middle = interp.check(trace), compiled.check(trace), closure.check(trace)
-    for name in left.outcomes:
-        if left.outcomes[name].comparison_key() != right.outcomes[name].comparison_key():
-            raise RuntimeError(f"{family.name}: backends disagree on assertion '{name}'")
-        if left.outcomes[name].comparison_key() != middle.outcomes[name].comparison_key():
-            raise RuntimeError(
-                f"{family.name}: closure path disagrees on assertion '{name}'"
-            )
+    # verdict divergence across the full four-way fallback chain --
+    # tree-walker vs attempt tensor vs vectorised walk vs closure path --
+    # plus the stacked batch pass against per-trace checking.
+    baseline = interp.check(trace)
+    _assert_verdicts_identical(family.name, baseline, compiled.check(trace), "attempt tensor")
+    _assert_verdicts_identical(family.name, baseline, walk.check(trace), "vectorised walk")
+    _assert_verdicts_identical(family.name, baseline, closure.check(trace), "closure path")
     for single, via_batch in zip([compiled.check(t) for t in batch], compiled.check_batch(batch)):
-        for name in single.outcomes:
-            if single.outcomes[name].comparison_key() != via_batch.outcomes[name].comparison_key():
-                raise RuntimeError(f"{family.name}: check_batch disagrees on assertion '{name}'")
+        _assert_verdicts_identical(family.name, single, via_batch, "stacked check_batch")
 
     return {
         "assertions": len(design.assertions),
         "cycles": len(trace),
         "interp_checks_per_s": round(1.0 / interp_s, 2),
         "compiled_checks_per_s": round(1.0 / compiled_s, 2),
+        "walk_checks_per_s": round(1.0 / walk_s, 2),
         "closure_checks_per_s": round(1.0 / closure_s, 2),
         "lower_ms": round(lower_ms, 3),
         "speedup": round(interp_s / compiled_s, 2),
-        "vector_speedup": round(closure_s / compiled_s, 3),
+        "vector_speedup": round(closure_s / walk_s, 3),
+        "attempt_speedup": round(walk_s / compiled_s, 3),
         "batch_speedup": round(sequential_s / batched_s, 3),
     }
 
@@ -243,6 +265,18 @@ def main() -> int:
         help="exit non-zero if the vectorised-vs-closure geomean falls below this",
     )
     parser.add_argument(
+        "--min-attempt-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the attempt-tensor-vs-walk geomean falls below this",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if ANY family's stacked-batch speedup falls below this",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_sva.json",
@@ -260,7 +294,8 @@ def main() -> int:
             f"{family.name:<26} {entry['assertions']:>2d} SVAs   "
             f"interp {entry['interp_checks_per_s']:>8.1f} checks/s   "
             f"compiled {entry['compiled_checks_per_s']:>8.1f} checks/s   "
-            f"{entry['speedup']:>5.1f}x  ({entry['vector_speedup']:.2f}x vs closure)"
+            f"{entry['speedup']:>5.1f}x  ({entry['attempt_speedup']:.2f}x vs walk, "
+            f"{entry['vector_speedup']:.2f}x vs closure)"
         )
     if not micro:
         print("FAIL: no family produced a checkable design")
@@ -273,11 +308,14 @@ def main() -> int:
     geomean = geomean_of(speedups)
     vector_speedups = [entry["vector_speedup"] for entry in micro.values()]
     vector_geomean = geomean_of(vector_speedups)
-    batch_geomean = geomean_of([entry["batch_speedup"] for entry in micro.values()])
+    attempt_speedups = [entry["attempt_speedup"] for entry in micro.values()]
+    attempt_geomean = geomean_of(attempt_speedups)
+    batch_speedups = [entry["batch_speedup"] for entry in micro.values()]
+    batch_geomean = geomean_of(batch_speedups)
 
     verifier = bench_verifier(min(args.cycles, 96), families[: args.verifier_cases])
     report = {
-        "schema": "bench_sva/v3",
+        "schema": "bench_sva/v4",
         "host": host_metadata(),
         "cycles_per_family": args.cycles,
         "timing_repeats": args.repeat,
@@ -288,10 +326,15 @@ def main() -> int:
             "geomean_speedup": round(vector_geomean, 3),
             "min_speedup": round(min(vector_speedups), 3),
         },
+        "attempt_tensor": {
+            "geomean_speedup": round(attempt_geomean, 3),
+            "min_speedup": round(min(attempt_speedups), 3),
+        },
         "batch": {
             "traces": BATCH_TRACES,
             "cycles": BATCH_CYCLES,
             "geomean_speedup": round(batch_geomean, 3),
+            "min_speedup": round(min(batch_speedups), 3),
         },
         "verifier": verifier,
     }
@@ -300,8 +343,11 @@ def main() -> int:
         f"\ngeomean checking speedup {report['geomean_speedup']}x "
         f"(min {report['min_speedup']}x); vectorised over closure path "
         f"{report['vectorised']['geomean_speedup']}x "
-        f"(min {report['vectorised']['min_speedup']}x); batched seed-trace "
-        f"pass {report['batch']['geomean_speedup']}x; verifier end-to-end "
+        f"(min {report['vectorised']['min_speedup']}x); attempt tensor over "
+        f"walk {report['attempt_tensor']['geomean_speedup']}x "
+        f"(min {report['attempt_tensor']['min_speedup']}x); stacked seed-trace "
+        f"pass {report['batch']['geomean_speedup']}x "
+        f"(min {report['batch']['min_speedup']}x); verifier end-to-end "
         f"{verifier['speedup']}x over {verifier['cases']} cases"
     )
     print(f"wrote {args.output}")
@@ -316,6 +362,18 @@ def main() -> int:
         print(
             f"FAIL: vectorised geomean {report['vectorised']['geomean_speedup']}x "
             f"is below the --min-vector-speedup gate of {args.min_vector_speedup}x"
+        )
+        failed = True
+    if args.min_attempt_speedup is not None and attempt_geomean < args.min_attempt_speedup:
+        print(
+            f"FAIL: attempt-tensor geomean {report['attempt_tensor']['geomean_speedup']}x "
+            f"is below the --min-attempt-speedup gate of {args.min_attempt_speedup}x"
+        )
+        failed = True
+    if args.min_batch_speedup is not None and min(batch_speedups) < args.min_batch_speedup:
+        print(
+            f"FAIL: stacked-batch minimum {report['batch']['min_speedup']}x "
+            f"is below the --min-batch-speedup gate of {args.min_batch_speedup}x"
         )
         failed = True
     return 1 if failed else 0

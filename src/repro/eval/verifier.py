@@ -290,7 +290,10 @@ class SemanticVerifier:
         simulation + one check.  Only when it passes are the remaining
         seeds simulated and their traces pushed through the lowered
         checker in **one batch pass** (:meth:`check_batch`), paying the
-        per-assertion dispatch once for the rest of the batch.  (With many
+        per-assertion dispatch once for the rest of the batch -- and, for
+        attempt-tensor assertions, stacking the per-seed columns into one
+        padded (seed x cycle) grid so each assertion is resolved for all
+        remaining seeds in a single 2-D numpy evaluation.  (With many
         verification seeds this trades away the old early exit on a
         *middle* seed's assertion failure -- a candidate that already
         survived seed one rarely fails later, and the default is two

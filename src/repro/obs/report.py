@@ -42,6 +42,10 @@ _ENGINE_COUNTERS = (
     "sva.check.vectorised",
     "sva.check.closure",
     "sva.check.tree_walker",
+    "sva.check.attempt_tensor",
+    "sva.attempt.tensor",
+    "sva.attempt.walk",
+    "sva.attempt.tree_walker",
 )
 _FAULT_COUNTERS = (
     "runtime.retries",
@@ -191,28 +195,51 @@ def render_report(data: TraceData, top: int = 10) -> str:
         for name, label in (split_label(key),)
         if name == "sva.vector_fallback" and label is not None
     }
+    attempt_fallbacks = {
+        label: value
+        for key, value in counters.items()
+        for name, label in (split_label(key),)
+        if name == "sva.attempt_fallback" and label is not None
+    }
     consumed.update(
-        key for key in counters if split_label(key)[0] == "sva.vector_fallback"
+        key
+        for key in counters
+        if split_label(key)[0] in ("sva.vector_fallback", "sva.attempt_fallback")
     )
     consumed.update(_ENGINE_COUNTERS)
-    if any(engine_totals.values()) or fallbacks:
+    attempt_totals = {
+        engine: counters.get(f"sva.attempt.{engine}", 0)
+        for engine in ("tensor", "walk", "tree_walker")
+    }
+    if any(engine_totals.values()) or fallbacks or any(attempt_totals.values()):
         lines += ["", "sva engines (assertions lowered):"]
         lines.append(
             "  " + " · ".join(f"{k} {v}" for k, v in engine_totals.items())
         )
         checks = {
             engine: counters.get(f"sva.check.{engine}", 0)
-            for engine in ("vectorised", "closure", "tree_walker")
+            for engine in ("attempt_tensor", "vectorised", "closure", "tree_walker")
         }
         if any(checks.values()):
             lines.append(
                 "  checked: "
                 + " · ".join(f"{k} {v}" for k, v in checks.items())
             )
+        if any(attempt_totals.values()):
+            lines.append(
+                "  attempt engines: "
+                + " · ".join(f"{k} {v}" for k, v in attempt_totals.items())
+            )
         if fallbacks:
             lines.append("  vectorisation fallback reasons:")
             for label, value in sorted(
                 fallbacks.items(), key=lambda item: (-item[1], item[0])
+            ):
+                lines.append(f"    {value:>4}  {label}")
+        if attempt_fallbacks:
+            lines.append("  attempt-tensor fallback reasons:")
+            for label, value in sorted(
+                attempt_fallbacks.items(), key=lambda item: (-item[1], item[0])
             ):
                 lines.append(f"    {value:>4}  {label}")
 

@@ -134,6 +134,33 @@ class Trace:
 
     def append(self, sample: TraceSample) -> None:
         self.samples.append(sample)
+        self._invalidate_columns()
+
+    # -- columnar-view memoisation ---------------------------------------- #
+
+    def _invalidate_columns(self) -> None:
+        """Drop memoised columns (called by every mutation entry point)."""
+        self.__dict__.pop("_columns_memo", None)
+
+    def columns_cached(self, names: Optional[list[str]] = None) -> Optional[TraceColumns]:
+        """The memoised columns for exactly these names, or None.
+
+        A cheap existence probe: consumers (the compiled checker's per-trace
+        preparation) use a hit to skip the per-sample signal-membership scan
+        entirely -- a memoised build already proved the signals exist.
+        """
+        memo = self.__dict__.get("_columns_memo")
+        if memo is None:
+            return None
+        key = tuple(names) if names is not None else None
+        return memo.get(key)
+
+    def __getstate__(self) -> dict:
+        # Memoised columns are derived data: rebuilding them costs less than
+        # shipping redundant ndarrays across process boundaries.
+        state = dict(self.__dict__)
+        state.pop("_columns_memo", None)
+        return state
 
     def sampled_values(self, name: str) -> list[LogicValue]:
         """All preponed values of one signal across the run."""
@@ -195,7 +222,22 @@ class Trace:
         can evaluate whole-trace expressions without touching per-cycle
         dicts.  Raises :class:`KeyError` (with the offending names) when a
         requested signal is absent from the trace samples.
+
+        Built columns are memoised per exact name tuple (and invalidated by
+        any append), so the verifier, ``check_batch`` and the benches stop
+        rebuilding identical arrays for the same trace.  Callers must not
+        mutate the returned arrays.
         """
+        key = tuple(names) if names is not None else None
+        memo = self.__dict__.get("_columns_memo")
+        if memo is None:
+            memo = self.__dict__["_columns_memo"] = {}
+        cached = memo.get(key)
+        if cached is None:
+            cached = memo[key] = self._build_columns(names)
+        return cached
+
+    def _build_columns(self, names: Optional[list[str]] = None) -> TraceColumns:
         names = list(names) if names is not None else list(self.signals)
         cycles = len(self.samples)
         if cycles == 0:
@@ -292,6 +334,7 @@ class DiffTrace(Trace):
         to the post-edge sample)."""
         self._pre_diffs.append(pre_diff)
         self._post_diffs.append(post_diff)
+        self._invalidate_columns()
 
     def append(self, sample: TraceSample) -> None:  # pragma: no cover - guard
         raise TypeError("DiffTrace records cycles via append_diffs(), not append()")
@@ -352,7 +395,7 @@ class DiffTrace(Trace):
         base = self._base
         return all(name in base for name in names)
 
-    def columns(self, names: Optional[list[str]] = None) -> TraceColumns:
+    def _build_columns(self, names: Optional[list[str]] = None) -> TraceColumns:
         """Columnar view built **directly from the recorded diffs**.
 
         Unlike the base implementation this never materialises per-cycle

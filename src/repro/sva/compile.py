@@ -27,15 +27,28 @@ This backend applies the same lowering recipe to assertions:
   O(attempt-span) rescan per attempt;
 * attempt evaluation **shares the per-cycle boolean results across all
   start cycles**: each element expression is evaluated exactly once per
-  cycle, and the per-attempt walk is pure list indexing -- the walk itself
-  is one shared implementation (:meth:`CompiledAssertionChecker._walk_attempts`)
-  for both series backends, so the two cannot drift.
+  cycle, and on the vectorised path the per-attempt resolution itself is a
+  whole-array computation (:func:`repro.sva.vector.walk_attempts_tensor`)
+  over (attempt x cycle) masks -- antecedent-start vectors, delay-window
+  shifts, disable prefix masks and pass/fail/vacuous bucketing for every
+  start cycle in one numpy expression.  The pure-indexing Python walk
+  (:meth:`CompiledAssertionChecker._walk_attempts`) remains as the
+  differential oracle for the tensor and as the closure path's resolver;
+* :meth:`CompiledAssertionChecker.check_batch` **stacks the per-seed
+  columnar views** of a batch into one padded (seed x cycle) grid and runs
+  each vectorised assertion's element expressions and attempt tensor once
+  for the whole batch, masked to the ragged per-trace lengths -- the
+  verifier's remaining-seeds pass is one numpy evaluation per assertion,
+  not one per seed.
 
-The fallback chain is per assertion: **vectorised -> per-cycle closures ->
-tree-walking oracle**.  An assertion the vector lowering refuses (dynamic
-part selects, >63-bit operands, ...) uses the closures; an assertion the
-closure lowering rejects uses the oracle; a trace that lacks a referenced
-signal falls back to the oracle for the whole call.  All three levels are
+The fallback chain is per assertion: **attempt tensor -> vectorised series
++ Python walk -> per-cycle closures + walk -> tree-walking oracle**.  The
+tensor runs exactly where the series vectorisation runs (its refusal
+conditions are the vector lowering's, plus the ``attempt_tensor=False``
+knob); an assertion the vector lowering refuses (dynamic part selects,
+>63-bit operands, ...) uses the closures; an assertion the closure
+lowering rejects uses the oracle; a trace that lacks a referenced signal
+falls back to the oracle for the whole call.  All levels are
 outcome-identical by construction plus differential testing
 (`tests/test_sva_compile`, `tests/test_trace_columns`): attempts,
 antecedent matches, passes, vacuous/pending/disabled counts and every
@@ -237,6 +250,62 @@ class _PreparedTrace:
         return self._rows
 
 
+class _StackedColumns:
+    """A batch's per-seed columns stacked into one padded (seed x cycle) grid.
+
+    Built lazily by the first attempt-tensor assertion of a
+    :meth:`CompiledAssertionChecker.check_batch` call and shared by all of
+    them.  Each referenced signal becomes one ``(seeds, max_cycles)`` array
+    pair; rows shorter than the grid are padded with ``(0, 0)`` cells,
+    which the tensor walk masks against the true per-row lengths before
+    any truth test (see :func:`repro.sva.vector.walk_attempts_tensor`).
+    A single-trace batch skips the copy entirely: its 1-D columns are
+    reshaped ``(1, cycles)`` views.
+    """
+
+    __slots__ = ("_checker", "_preps", "_built")
+
+    def __init__(self, checker: "CompiledAssertionChecker",
+                 preps: list["_PreparedTrace"]):
+        self._checker = checker
+        self._preps = preps
+        self._built: Optional[tuple[list, list, np.ndarray, tuple]] = None
+
+    def stack(self) -> tuple[list, list, np.ndarray, tuple]:
+        """``(values, xmasks, lengths, shape)`` -- per-slot stacked lanes."""
+        if self._built is None:
+            preps = self._preps
+            lengths = np.array([prep.cycles for prep in preps], dtype=np.int64)
+            if len(preps) == 1:
+                cols_v, cols_x = preps[0].cols()
+                stacked_v = [np.asarray(col)[None, :] for col in cols_v]
+                stacked_x = [np.asarray(col)[None, :] for col in cols_x]
+                shape = (1, int(lengths[0]))
+            else:
+                per_trace = [prep.cols() for prep in preps]
+                rows = len(preps)
+                width = int(lengths.max()) if rows else 0
+                shape = (rows, width)
+                stacked_v, stacked_x = [], []
+                for slot in range(len(self._checker._names)):
+                    # Wide (>63-bit) signals carry object-dtype columns;
+                    # only non-vectorised assertions reference them, so the
+                    # stacked twin exists purely to keep slots aligned.
+                    dtype = np.int64
+                    if any(tv[slot].dtype == object for tv, _tx in per_trace):
+                        dtype = object
+                    slot_v = np.zeros(shape, dtype=dtype)
+                    slot_x = np.zeros(shape, dtype=dtype)
+                    for row, (trace_v, trace_x) in enumerate(per_trace):
+                        cycles = int(lengths[row])
+                        slot_v[row, :cycles] = trace_v[slot]
+                        slot_x[row, :cycles] = trace_x[slot]
+                    stacked_v.append(slot_v)
+                    stacked_x.append(slot_x)
+            self._built = (stacked_v, stacked_x, lengths, shape)
+        return self._built
+
+
 class CompiledAssertionChecker:
     """Drop-in replacement for :class:`~repro.sva.checker.AssertionChecker`.
 
@@ -247,7 +316,7 @@ class CompiledAssertionChecker:
     """
 
     def __init__(self, design: ElaboratedDesign, strict: bool = False,
-                 vectorise: bool = True,
+                 vectorise: bool = True, attempt_tensor: bool = True,
                  base: Optional["CompiledAssertionChecker"] = None):
         from repro.artifacts.canon import assertion_key
 
@@ -256,6 +325,10 @@ class CompiledAssertionChecker:
         #: False forces the per-cycle closure path even for assertions the
         #: vector lowering supports (the benchmark's like-for-like leg).
         self._vectorise = vectorise
+        #: False keeps vectorised assertions on the Python attempt walk
+        #: (the tensor's differential oracle and benchmark baseline).  Only
+        #: meaningful with ``vectorise``: the tensor consumes vector lanes.
+        self._attempt_tensor = attempt_tensor and vectorise
         referenced: set[str] = set()
         for spec in design.assertions:
             referenced |= spec.identifiers()
@@ -314,6 +387,9 @@ class CompiledAssertionChecker:
             return False
         if base._vectorise != self._vectorise or base._names != self._names:
             return False
+        if base._attempt_tensor != self._attempt_tensor:
+            # Cached engine choices carry the attempt-engine decision too.
+            return False
         for name in self._names:
             if base._design.signals[name].width != self._design.signals[name].width:
                 return False
@@ -324,16 +400,32 @@ class CompiledAssertionChecker:
         return self._design
 
     def engine_report(self) -> dict:
-        """Which engine handles each assertion, and why any was demoted."""
+        """Which engines handle each assertion, and why any was demoted.
+
+        Covers both layers of the fallback chain: the series engine
+        (``engines`` / ``fallback_reasons``) and the attempt engine
+        (``attempt_engines`` / ``attempt_fallback_reasons``), so a demotion
+        off the attempt tensor is as visible as one off the vectorised
+        series -- no silent drop to the Python walk.
+        """
         counts = {"vectorised": 0, "closure": 0, "tree_walker": 0}
+        attempt_counts = {"tensor": 0, "walk": 0, "tree_walker": 0}
         reasons: dict[str, int] = {}
+        attempt_reasons: dict[str, int] = {}
         for choice in self.engine_choices.values():
             counts[choice["engine"]] += 1
             if choice["reason"]:
                 reasons[choice["reason"]] = reasons.get(choice["reason"], 0) + 1
+            attempt_counts[choice["attempt_engine"]] += 1
+            if choice["attempt_reason"]:
+                attempt_reasons[choice["attempt_reason"]] = (
+                    attempt_reasons.get(choice["attempt_reason"], 0) + 1
+                )
         return {
             "engines": counts,
             "fallback_reasons": dict(sorted(reasons.items())),
+            "attempt_engines": attempt_counts,
+            "attempt_fallback_reasons": dict(sorted(attempt_reasons.items())),
             "assertions": {
                 name: dict(choice)
                 for name, choice in sorted(self.engine_choices.items())
@@ -342,11 +434,32 @@ class CompiledAssertionChecker:
 
     def _record_engine(self, spec: AssertionSpec, engine: str,
                        reason: Optional[str]) -> None:
-        self.engine_choices[spec.name] = {"engine": engine, "reason": reason}
+        # The attempt-engine decision is fully determined by the series
+        # engine plus the attempt_tensor knob: the tensor consumes the
+        # vector lanes, so whatever demotes the series demotes it too.
+        if engine == "vectorised":
+            if self._attempt_tensor:
+                attempt_engine, attempt_reason = "tensor", None
+            else:
+                attempt_engine, attempt_reason = "walk", "attempt tensor disabled"
+        elif engine == "closure":
+            attempt_engine = "walk"
+            attempt_reason = f"series engine is closure: {reason}"
+        else:
+            attempt_engine, attempt_reason = "tree_walker", reason
+        self.engine_choices[spec.name] = {
+            "engine": engine,
+            "reason": reason,
+            "attempt_engine": attempt_engine,
+            "attempt_reason": attempt_reason,
+        }
         registry = get_registry()
         registry.inc(f"sva.lower.{engine}")
         if engine == "closure" and reason:
             registry.inc(labeled("sva.vector_fallback", reason))
+        registry.inc(f"sva.attempt.{attempt_engine}")
+        if attempt_reason:
+            registry.inc(labeled("sva.attempt_fallback", attempt_reason))
 
     # ------------------------------------------------------------------ #
     # lowering
@@ -420,9 +533,12 @@ class CompiledAssertionChecker:
         per-assertion dispatch (lowered lookup, on-the-fly lowering of
         foreign specs, series release) for the whole batch instead of one
         per trace, and each trace's columnar view is built exactly once and
-        shared by every vectorised assertion.  Outcome-identical to calling
-        :meth:`check` per trace, in trace order, which is what the batch
-        differential test asserts.
+        shared by every vectorised assertion.  Attempt-tensor assertions go
+        further: the batch's per-seed columns are stacked into one padded
+        (seed x cycle) grid (:class:`_StackedColumns`) and each assertion
+        is resolved for *all* seeds in a single 2-D numpy pass.
+        Outcome-identical to calling :meth:`check` per trace, in trace
+        order, which is what the batch differential test asserts.
         """
         specs = assertions if assertions is not None else self._design.assertions
         registry = get_registry()
@@ -439,6 +555,12 @@ class CompiledAssertionChecker:
             else:
                 reports.append(CheckReport())
                 prepared.append(prep)
+        live = [
+            (prep, report)
+            for prep, report in zip(prepared, reports)
+            if prep is not None
+        ]
+        stacked = _StackedColumns(self, [prep for prep, _ in live]) if live else None
         for spec in specs:
             lowered = self._lowered.get(id(spec))
             if lowered is None and id(spec) not in self._lowered:
@@ -454,6 +576,16 @@ class CompiledAssertionChecker:
                         registry.inc("sva.check.tree_walker")
                 continue
             try:
+                if (
+                    lowered.vector_fns is not None
+                    and self._attempt_tensor
+                    and stacked is not None
+                ):
+                    registry.inc("sva.check.attempt_tensor", len(live))
+                    outcomes = self._evaluate_tensor(lowered, stacked)
+                    for (_prep, report), outcome in zip(live, outcomes):
+                        report.outcomes[spec.name] = outcome
+                    continue
                 for prep, report in zip(prepared, reports):
                     if prep is None:
                         continue
@@ -478,8 +610,16 @@ class CompiledAssertionChecker:
     def _prepare_trace(self, trace: Trace) -> Optional[_PreparedTrace]:
         """Lazy per-trace representations, or None when a referenced signal
         is missing from the trace (the whole-trace oracle fallback, as
-        before -- probed cheaply up front so the lazy builds cannot fail)."""
-        if not trace.has_signals(self._names):
+        before -- probed cheaply up front so the lazy builds cannot fail).
+
+        A trace whose columns for exactly these signals are already
+        memoised skips the membership probe: a successful column build is
+        proof the signals exist, and the probe is the dominant per-trace
+        setup cost when the same trace is checked repeatedly.
+        """
+        if trace.columns_cached(self._names) is None and not trace.has_signals(
+            self._names
+        ):
             return None
         return _PreparedTrace(self, trace)
 
@@ -558,9 +698,9 @@ class CompiledAssertionChecker:
         disabled: Optional[list[bool]] = None
         prefix: Optional[list[int]] = None
         for index, (fn, _width) in enumerate(lowered.vector_fns):
-            values, xmasks = fn(cols_v, cols_x, n)
-            values = sva_vector.as_column(values, n)
-            xmasks = sva_vector.as_column(xmasks, n)
+            values, xmasks = fn(cols_v, cols_x, (n,))
+            values = sva_vector.as_column(values, (n,))
+            xmasks = sva_vector.as_column(xmasks, (n,))
             series.append(sva_vector.tri_column(values, xmasks))
             if index == lowered.disable_index:
                 # Truthy == the tri-state True the closure path tests for.
@@ -569,6 +709,31 @@ class CompiledAssertionChecker:
                 prefix = [0]
                 prefix.extend(np.cumsum(lanes, dtype=np.int64).tolist())
         return self._walk_attempts(lowered, outcome, series, disabled, prefix, n)
+
+    def _evaluate_tensor(
+        self, lowered: _LoweredAssertion, stacked: _StackedColumns
+    ) -> list[AssertionOutcome]:
+        """Attempt-tensor path: one 2-D numpy pass resolves every attempt of
+        every trace in the batch (a single trace is the (1, cycles) case)."""
+        stacked_v, stacked_x, lengths, shape = stacked.stack()
+        values: list[np.ndarray] = []
+        xmasks: list[np.ndarray] = []
+        for fn, _width in lowered.vector_fns:
+            lane_v, lane_x = fn(stacked_v, stacked_x, shape)
+            values.append(sva_vector.as_column(lane_v, shape))
+            xmasks.append(sva_vector.as_column(lane_x, shape))
+        spec = lowered.spec
+        return sva_vector.walk_attempts_tensor(
+            spec.name,
+            spec.error_message,
+            lowered.antecedent,
+            lowered.consequent,
+            lowered.overlapping,
+            lowered.disable_index,
+            values,
+            xmasks,
+            lengths,
+        )
 
     def _walk_attempts(
         self, lowered: _LoweredAssertion, outcome: AssertionOutcome,
@@ -655,9 +820,13 @@ def compile_assertions(
     design: ElaboratedDesign,
     strict: bool = False,
     vectorise: bool = True,
+    attempt_tensor: bool = True,
     base: Optional[CompiledAssertionChecker] = None,
 ) -> CompiledAssertionChecker:
     """Lower ``design``'s assertions for the compiled checker backend.
+
+    ``attempt_tensor=False`` keeps vectorised assertions on the Python
+    attempt walk (the tensor's differential oracle and benchmark baseline).
 
     With ``base`` (a checker for a signal-compatible design, typically the
     unpatched base of a candidate repair), assertions whose content key is
@@ -665,5 +834,6 @@ def compile_assertions(
     the patch touched are relowered.
     """
     return CompiledAssertionChecker(
-        design, strict=strict, vectorise=vectorise, base=base
+        design, strict=strict, vectorise=vectorise,
+        attempt_tensor=attempt_tensor, base=base,
     )

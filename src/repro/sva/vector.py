@@ -45,25 +45,33 @@ from repro.sim.evaluator import EvalError, Evaluator
 from repro.sim.trace import INT64_COLUMN_MAX_WIDTH
 from repro.sva.checker import (
     SAMPLED_VALUE_FUNCTIONS,
+    AssertionFailure,
+    AssertionOutcome,
     infer_expression_width,
     sampled_past_depth,
 )
 
 _I64 = np.int64
 
-#: A vector closure: (cols_v, cols_x, n) -> (value_lanes, xmask_lanes).
-#: Lanes are int64 ndarrays of length ``n`` -- or scalars for constant
-#: subexpressions, which numpy broadcasting carries through transparently.
-VecFn = Callable[[list, list, int], tuple]
+#: A vector closure: (cols_v, cols_x, shape) -> (value_lanes, xmask_lanes).
+#: ``shape`` is the lane shape -- ``(cycles,)`` for one trace's columns, or
+#: ``(seeds, cycles)`` for a stacked batch of padded per-seed columns (the
+#: 2-D attempt-tensor path).  Lanes are int64 ndarrays of that shape -- or
+#: scalars for constant subexpressions, which numpy broadcasting carries
+#: through transparently.  Every lowered operator is elementwise, so the
+#: same closure evaluates both shapes; only the delay shifts
+#: (:func:`_shift_series`) are axis-aware, operating on the last (cycle)
+#: axis so rows never contaminate each other.
+VecFn = Callable[[list, list, tuple], tuple]
 
 
 class VectorError(Exception):
     """Raised when an expression cannot be lowered to whole-array form."""
 
 
-def as_column(lanes, n: int) -> np.ndarray:
-    """Broadcast a scalar-or-array lane value to a length-``n`` int64 array."""
-    return np.broadcast_to(np.asarray(lanes, dtype=_I64), (n,))
+def as_column(lanes, shape) -> np.ndarray:
+    """Broadcast a scalar-or-array lane value to an int64 array of ``shape``."""
+    return np.broadcast_to(np.asarray(lanes, dtype=_I64), shape)
 
 
 #: Tri-state decode table for element series: index by 0/1/2.
@@ -81,16 +89,22 @@ def tri_column(values: np.ndarray, xmasks: np.ndarray) -> list:
 
 
 def _shift_series(
-    values: np.ndarray, xmasks: np.ndarray, n: int, depth: int, fill_xmask: int
+    values: np.ndarray, xmasks: np.ndarray, shape, depth: int, fill_xmask: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """The series delayed by ``depth`` cycles, back-filled with all-``x``."""
-    shifted_v = np.zeros(n, dtype=_I64)
-    shifted_x = np.empty(n, dtype=_I64)
+    """The series delayed by ``depth`` cycles, back-filled with all-``x``.
+
+    The shift is along the last (cycle) axis, so on a stacked 2-D batch
+    every row sees its own pre-trace all-``x`` fill and rows never bleed
+    into each other.
+    """
+    n = shape[-1]
+    shifted_v = np.zeros(shape, dtype=_I64)
+    shifted_x = np.empty(shape, dtype=_I64)
     filled = depth if depth < n else n
-    shifted_x[:filled] = fill_xmask
+    shifted_x[..., :filled] = fill_xmask
     if filled < n:
-        shifted_v[filled:] = values[: n - filled]
-        shifted_x[filled:] = xmasks[: n - filled]
+        shifted_v[..., filled:] = values[..., : n - filled]
+        shifted_x[..., filled:] = xmasks[..., : n - filled]
     return shifted_v, shifted_x
 
 
@@ -194,16 +208,16 @@ class VectorExprCompiler:
         m = (1 << w) - 1
         x = expr.xz_mask & m
         v = expr.value & m & ~x
-        return (lambda cv, cx, n: (v, x)), w
+        return (lambda cv, cx, shape: (v, x)), w
 
     def _compile_identifier(self, expr: ast.Identifier) -> tuple[VecFn, int]:
         slot = self._slots.get(expr.name)
         if slot is not None:
             w = self._checked_width(self._design.signals[expr.name].width)
-            return (lambda cv, cx, n, i=slot: (cv[i], cx[i])), w
+            return (lambda cv, cx, shape, i=slot: (cv[i], cx[i])), w
         if expr.name in self._parameters:
             v = self._parameters[expr.name] & 0xFFFFFFFF
-            return (lambda cv, cx, n: (v, 0)), 32
+            return (lambda cv, cx, shape: (v, 0)), 32
         raise VectorError(f"unknown signal '{expr.name}'")
 
     # ------------------------------------------------------------------ #
@@ -218,8 +232,8 @@ class VectorExprCompiler:
             return fn, w
         if op in ("-", "~"):
             # Scalar: unknown operand -> full-width x; else (-v | ~v) & m.
-            def arith_unary(cv, cx, n, op=op):
-                v, x = fn(cv, cx, n)
+            def arith_unary(cv, cx, shape, op=op):
+                v, x = fn(cv, cx, shape)
                 unknown = np.asarray(x) != 0
                 computed = ((-np.asarray(v)) if op == "-" else ~np.asarray(v)) & m
                 return np.where(unknown, 0, computed), np.where(unknown, m, 0)
@@ -227,8 +241,8 @@ class VectorExprCompiler:
             return arith_unary, w
         if op == "!":
             # Scalar: truthy -> 0; unknown zero -> x; known zero -> 1.
-            def logic_not(cv, cx, n):
-                v, x = fn(cv, cx, n)
+            def logic_not(cv, cx, shape):
+                v, x = fn(cv, cx, shape)
                 v = np.asarray(v)
                 x = np.asarray(x)
                 return (
@@ -239,8 +253,8 @@ class VectorExprCompiler:
             return logic_not, 1
         if op in ("&", "|", "^"):
             # Scalar reductions: any x bit -> unknown; else reduce the word.
-            def reduction(cv, cx, n, op=op):
-                v, x = fn(cv, cx, n)
+            def reduction(cv, cx, shape, op=op):
+                v, x = fn(cv, cx, shape)
                 v = np.asarray(v)
                 unknown = np.asarray(x) != 0
                 if op == "&":
@@ -260,9 +274,9 @@ class VectorExprCompiler:
         op = expr.op
         if op == "&&":
 
-            def logic_and(cv, cx, n):
-                v1, x1 = lf(cv, cx, n)
-                v2, x2 = rf(cv, cx, n)
+            def logic_and(cv, cx, shape):
+                v1, x1 = lf(cv, cx, shape)
+                v2, x2 = rf(cv, cx, shape)
                 v1, x1, v2, x2 = map(np.asarray, (v1, x1, v2, x2))
                 known_false = ((v1 == 0) & (x1 == 0)) | ((v2 == 0) & (x2 == 0))
                 unknown = ~known_false & (
@@ -276,9 +290,9 @@ class VectorExprCompiler:
             return logic_and, 1
         if op == "||":
 
-            def logic_or(cv, cx, n):
-                v1, x1 = lf(cv, cx, n)
-                v2, x2 = rf(cv, cx, n)
+            def logic_or(cv, cx, shape):
+                v1, x1 = lf(cv, cx, shape)
+                v2, x2 = rf(cv, cx, shape)
                 v1, x1, v2, x2 = map(np.asarray, (v1, x1, v2, x2))
                 known_true = (v1 != 0) | (v2 != 0)
                 unknown = ~known_true & ((x1 != 0) | (x2 != 0))
@@ -288,9 +302,9 @@ class VectorExprCompiler:
         if op in ("==", "!=", "<", ">", "<=", ">="):
             # Scalar: any x on either side -> unknown; else compare (values
             # are masked non-negative, so int64 comparison == unsigned).
-            def compare(cv, cx, n, op=op):
-                v1, x1 = lf(cv, cx, n)
-                v2, x2 = rf(cv, cx, n)
+            def compare(cv, cx, shape, op=op):
+                v1, x1 = lf(cv, cx, shape)
+                v2, x2 = rf(cv, cx, shape)
                 v1, v2 = np.asarray(v1), np.asarray(v2)
                 unknown = (np.asarray(x1) != 0) | (np.asarray(x2) != 0)
                 if op == "==":
@@ -311,9 +325,9 @@ class VectorExprCompiler:
         if op in ("===", "!=="):
             want = op == "==="
 
-            def case_equal(cv, cx, n):
-                v1, x1 = lf(cv, cx, n)
-                v2, x2 = rf(cv, cx, n)
+            def case_equal(cv, cx, shape):
+                v1, x1 = lf(cv, cx, shape)
+                v2, x2 = rf(cv, cx, shape)
                 same = (np.asarray(v1) == np.asarray(v2)) & (
                     np.asarray(x1) == np.asarray(x2)
                 )
@@ -323,9 +337,9 @@ class VectorExprCompiler:
         if op in ("<<", "<<<", ">>", ">>>"):
             m1 = (1 << w1) - 1
 
-            def shift(cv, cx, n, left=op in ("<<", "<<<")):
-                v1, x1 = lf(cv, cx, n)
-                v2, x2 = rf(cv, cx, n)
+            def shift(cv, cx, shape, left=op in ("<<", "<<<")):
+                v1, x1 = lf(cv, cx, shape)
+                v2, x2 = rf(cv, cx, shape)
                 unknown = (np.asarray(x1) != 0) | (np.asarray(x2) != 0)
                 shifted = _shift_left(v1, v2, m1) if left else _shift_right(v1, v2)
                 return np.where(unknown, 0, shifted), np.where(unknown, m1, 0)
@@ -338,9 +352,9 @@ class VectorExprCompiler:
         m = (1 << w) - 1
         divides = op in ("/", "%")
 
-        def binop(cv, cx, n):
-            v1, x1 = lf(cv, cx, n)
-            v2, x2 = rf(cv, cx, n)
+        def binop(cv, cx, shape):
+            v1, x1 = lf(cv, cx, shape)
+            v2, x2 = rf(cv, cx, shape)
             v1, v2 = np.asarray(v1), np.asarray(v2)
             unknown = (np.asarray(x1) != 0) | (np.asarray(x2) != 0)
             if divides:
@@ -378,10 +392,10 @@ class VectorExprCompiler:
             raise VectorError("ternary branches have different widths")
         m = (1 << tw) - 1
 
-        def ternary(cv, cx, n):
-            c_v, c_x = cf(cv, cx, n)
-            t_v, t_x = tf(cv, cx, n)
-            f_v, f_x = ff(cv, cx, n)
+        def ternary(cv, cx, shape):
+            c_v, c_x = cf(cv, cx, shape)
+            t_v, t_x = tf(cv, cx, shape)
+            f_v, f_x = ff(cv, cx, shape)
             c_v, c_x = np.asarray(c_v), np.asarray(c_x)
             t_v, t_x = np.asarray(t_v), np.asarray(t_x)
             f_v, f_x = np.asarray(f_v), np.asarray(f_x)
@@ -402,9 +416,9 @@ class VectorExprCompiler:
         bf, bw = self.compile(expr.base)
         idf, _iw = self.compile(expr.index)
 
-        def bit_select(cv, cx, n):
-            b_v, b_x = bf(cv, cx, n)
-            i_v, i_x = idf(cv, cx, n)
+        def bit_select(cv, cx, shape):
+            b_v, b_x = bf(cv, cx, shape)
+            i_v, i_x = idf(cv, cx, shape)
             i_v = np.asarray(i_v)
             # Scalar: unknown or out-of-range index -> 1-bit x.
             oob = (np.asarray(i_x) != 0) | (i_v >= bw)
@@ -429,13 +443,13 @@ class VectorExprCompiler:
         w = self._checked_width(msb - lsb + 1)
         m = (1 << w) - 1
         if lsb >= bw:
-            return (lambda cv, cx, n: (0, m)), w
+            return (lambda cv, cx, shape: (0, m)), w
         extra_x = 0
         if msb >= bw:
             extra_x = ((1 << (msb - bw + 1)) - 1) << (bw - lsb)
 
-        def part_select(cv, cx, n):
-            b_v, b_x = bf(cv, cx, n)
+        def part_select(cv, cx, shape):
+            b_v, b_x = bf(cv, cx, shape)
             x = ((np.asarray(b_x) >> lsb) | extra_x) & m
             v = (np.asarray(b_v) >> lsb) & m & ~x
             return v, x
@@ -446,11 +460,11 @@ class VectorExprCompiler:
         parts = [self.compile(part) for part in expr.parts]
         total = self._checked_width(max(sum(w for _, w in parts), 1))
 
-        def concat(cv, cx, n):
+        def concat(cv, cx, shape):
             v = 0
             x = 0
             for fn, pw in parts:
-                p_v, p_x = fn(cv, cx, n)
+                p_v, p_x = fn(cv, cx, shape)
                 v = (np.asarray(v) << pw) | p_v
                 x = (np.asarray(x) << pw) | p_x
             return v, x
@@ -465,8 +479,8 @@ class VectorExprCompiler:
         fn, pw = self.compile(expr.value)
         total = self._checked_width(max(pw * count, 1))
 
-        def replicate(cv, cx, n):
-            p_v, p_x = fn(cv, cx, n)
+        def replicate(cv, cx, shape):
+            p_v, p_x = fn(cv, cx, shape)
             v = 0
             x = 0
             for _ in range(count):
@@ -491,8 +505,8 @@ class VectorExprCompiler:
         fn, _w = self.compile(expr.args[0])
         if name == "$countones":
 
-            def countones(cv, cx, n):
-                v, x = fn(cv, cx, n)
+            def countones(cv, cx, shape):
+                v, x = fn(cv, cx, shape)
                 unknown = np.asarray(x) != 0
                 return (
                     np.where(unknown, 0, _popcount(v)),
@@ -503,8 +517,8 @@ class VectorExprCompiler:
         if name in ("$onehot", "$onehot0"):
             exact = name == "$onehot"
 
-            def onehot(cv, cx, n):
-                v, x = fn(cv, cx, n)
+            def onehot(cv, cx, shape):
+                v, x = fn(cv, cx, shape)
                 unknown = np.asarray(x) != 0
                 ones = _popcount(v)
                 hot = (ones == 1) if exact else (ones <= 1)
@@ -513,8 +527,8 @@ class VectorExprCompiler:
             return onehot, 1
         if name == "$clog2":
 
-            def clog2(cv, cx, n):
-                v, x = fn(cv, cx, n)
+            def clog2(cv, cx, shape):
+                v, x = fn(cv, cx, shape)
                 v = np.asarray(v)
                 unknown = np.asarray(x) != 0
                 # ceil(log2(v)) == bit_length(v - 1); branch-free bit_length
@@ -535,7 +549,7 @@ class VectorExprCompiler:
     def _compile_sampled(self, call: ast.SystemCall) -> tuple[VecFn, int]:
         if not call.args:
             # Mirrors the closure path's missing-argument guard: unknown(1).
-            return (lambda cv, cx, n: (0, 1)), 1
+            return (lambda cv, cx, shape: (0, 1)), 1
         argument = call.args[0]
         arg_fn, arg_width = self.compile(argument)
         inferred = infer_expression_width(argument, self._design)
@@ -548,17 +562,19 @@ class VectorExprCompiler:
         if call.name == "$past":
             depth = sampled_past_depth(call, self._parameters)
 
-            def past(cv, cx, n):
-                a_v, a_x = arg_fn(cv, cx, n)
-                return _shift_series(as_column(a_v, n), as_column(a_x, n), n, depth, fill_xmask)
+            def past(cv, cx, shape):
+                a_v, a_x = arg_fn(cv, cx, shape)
+                return _shift_series(
+                    as_column(a_v, shape), as_column(a_x, shape), shape, depth, fill_xmask
+                )
 
             return past, arg_width
 
-        def edge_or_stability(cv, cx, n, name=call.name):
-            raw_v, raw_x = arg_fn(cv, cx, n)
-            a_v = as_column(raw_v, n)
-            a_x = as_column(raw_x, n)
-            prev_v, prev_x = _shift_series(a_v, a_x, n, 1, fill_xmask)
+        def edge_or_stability(cv, cx, shape, name=call.name):
+            raw_v, raw_x = arg_fn(cv, cx, shape)
+            a_v = as_column(raw_v, shape)
+            a_x = as_column(raw_x, shape)
+            prev_v, prev_x = _shift_series(a_v, a_x, shape, 1, fill_xmask)
             # Scalar: any x in either sample -> unknown (cycle 0 is always
             # unknown -- the pre-trace "previous" is all-x).
             unknown = (a_x != 0) | (prev_x != 0)
@@ -590,3 +606,155 @@ def lower_elements(
     """
     compiler = VectorExprCompiler(design, slots)
     return [compiler.compile(expression) for expression in expressions]
+
+
+# --------------------------------------------------------------------------- #
+# attempt-tensor walk
+# --------------------------------------------------------------------------- #
+
+
+def _shift_lane(lane: np.ndarray, offset: int) -> np.ndarray:
+    """``lane`` advanced by ``offset`` cycles along the cycle axis.
+
+    ``out[..., start] == lane[..., start + offset]`` where in range, False
+    beyond the array -- out-of-range reads are masked by the caller's
+    per-row length check before they are ever consulted, so the False fill
+    is never observable.
+    """
+    if offset == 0:
+        return lane
+    n = lane.shape[-1]
+    out = np.zeros(lane.shape, dtype=bool)
+    if offset < n:
+        out[..., : n - offset] = lane[..., offset:]
+    return out
+
+
+def walk_attempts_tensor(
+    name: str,
+    message: str,
+    antecedent: Optional[list[tuple[int, int]]],
+    consequent: list[tuple[int, int]],
+    overlapping: bool,
+    disable_index: Optional[int],
+    values: list[np.ndarray],
+    xmasks: list[np.ndarray],
+    lengths: np.ndarray,
+) -> list[AssertionOutcome]:
+    """Resolve every attempt of every row in whole-array numpy operations.
+
+    The tensor twin of ``CompiledAssertionChecker._walk_attempts``: where
+    the walk loops over start cycles in Python, this computes one boolean
+    (row x start-cycle) mask per outcome bucket, with antecedent/consequent
+    delays as shifted views, ``disable iff`` as a per-row prefix-count
+    lookup, and pass/fail/vacuous resolution for all attempt starts of all
+    rows in one expression.  Rows are independent traces (one per
+    verification seed); a single trace is the degenerate ``(1, cycles)``
+    case.
+
+    ``values[i]`` / ``xmasks[i]`` are element ``i``'s lanes over a common
+    padded ``(rows, max_cycles)`` grid; ``lengths[r]`` is row ``r``'s true
+    cycle count.  Padded cells carry ``(0, 0)`` and are provably never
+    consulted: every truth test is preceded by an in-range mask on the
+    *shifted* cycle, and the disable prefix is clipped to real cells before
+    accumulation.
+
+    Bucket semantics replicate the walk exactly, in its order: disabled at
+    the start cycle first; antecedent elements left to right (out of range
+    -> pending, non-True -> vacuous); ``disable iff`` anywhere in
+    ``[start, consequent start]``; consequent elements left to right (out
+    of range -> pending, known-False -> fail at the first such element);
+    a fail whose ``[start, fail cycle]`` span saw the disable counts as
+    disabled instead.  Each start lands in exactly one bucket because every
+    test removes its matches from the live mask.  Failures are emitted in
+    ascending start order, matching the walk's iteration.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    rows = lengths.shape[0]
+    n = int(lengths.max()) if rows else 0
+    starts = np.arange(n, dtype=np.int64)[None, :]
+    len_col = lengths[:, None]
+    in_trace = starts < len_col
+
+    def true_lane(index: int) -> np.ndarray:
+        return np.asarray(values[index]) != 0
+
+    def false_lane(index: int) -> np.ndarray:
+        return (np.asarray(values[index]) == 0) & (np.asarray(xmasks[index]) == 0)
+
+    active = in_trace.copy()
+    disabled = np.zeros_like(in_trace)
+    pending = np.zeros_like(in_trace)
+    vacuous = np.zeros_like(in_trace)
+    prefix = None
+    if disable_index is not None:
+        dis = true_lane(disable_index) & in_trace
+        prefix = np.zeros((rows, n + 1), dtype=np.int64)
+        prefix[:, 1:] = np.cumsum(dis, axis=1)
+        disabled = active & dis
+        active = active & ~dis
+
+    if antecedent:
+        for offset, index in antecedent:
+            in_range = (starts + offset) < len_col
+            pending = pending | (active & ~in_range)
+            active = active & in_range
+            t = _shift_lane(true_lane(index), offset)
+            vacuous = vacuous | (active & ~t)
+            active = active & t
+    matched = active
+    if antecedent is None:
+        consequent_base = 0
+    else:
+        last_offset = antecedent[-1][0] if antecedent else 0
+        consequent_base = last_offset + (0 if overlapping else 1)
+
+    def disable_span(end: np.ndarray) -> np.ndarray:
+        """``prefix[end + 1] - prefix[start]`` per (row, start), end clamped."""
+        clamped = np.clip(end, -1, len_col - 1)
+        gathered = np.take_along_axis(prefix, np.maximum(clamped + 1, 0), axis=1)
+        return gathered - prefix[:, :n]
+
+    if prefix is not None:
+        mid = active & (disable_span(starts + consequent_base) > 0)
+        disabled = disabled | mid
+        active = active & ~mid
+
+    failed = np.zeros_like(in_trace)
+    fail_cycle = np.full((rows, n), -1, dtype=np.int64)
+    for offset, index in consequent:
+        total = consequent_base + offset
+        in_range = (starts + total) < len_col
+        pending = pending | (active & ~in_range)
+        active = active & in_range
+        f = _shift_lane(false_lane(index), total)
+        newly = active & f
+        fail_cycle = np.where(newly, starts + total, fail_cycle)
+        failed = failed | newly
+        active = active & ~f
+    passes = active
+    if prefix is not None:
+        late = failed & (disable_span(fail_cycle) > 0)
+        disabled = disabled | late
+        failed = failed & ~late
+
+    outcomes: list[AssertionOutcome] = []
+    for row in range(rows):
+        outcome = AssertionOutcome(name=name)
+        outcome.attempts = int(lengths[row])
+        outcome.antecedent_matches = int(matched[row].sum())
+        outcome.passes = int(passes[row].sum())
+        outcome.vacuous = int(vacuous[row].sum())
+        outcome.pending = int(pending[row].sum())
+        outcome.disabled = int(disabled[row].sum())
+        for start in np.nonzero(failed[row])[0].tolist():
+            outcome.failures.append(
+                AssertionFailure(
+                    assertion=name,
+                    start_cycle=start,
+                    fail_cycle=int(fail_cycle[row, start]),
+                    message=message,
+                )
+            )
+        outcomes.append(outcome)
+    return outcomes

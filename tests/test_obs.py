@@ -397,6 +397,39 @@ def test_disabling_vectorisation_records_the_reason():
     assert registry.counter(key) == len(demoted)
 
 
+def test_attempt_engine_choices_are_recorded_per_assertion():
+    """The attempt layer's choice (tensor vs walk) is as visible as the
+    series engine's: counters at lowering, labeled fallback reasons, and
+    per-assertion fields in engine_report() -- no silent demotion."""
+    design = _assertion_design()
+    with scoped_registry() as registry:
+        checker = CompiledAssertionChecker(design)
+    for choice in checker.engine_choices.values():
+        assert choice["attempt_engine"] in ("tensor", "walk", "tree_walker")
+        if choice["attempt_engine"] == "tensor":
+            assert choice["attempt_reason"] is None
+        else:
+            assert choice["attempt_reason"]
+    report = checker.engine_report()
+    assert sum(report["attempt_engines"].values()) == len(design.assertions)
+    assert report["attempt_engines"]["tensor"] == registry.counter("sva.attempt.tensor")
+    assert report["attempt_engines"]["tensor"] > 0
+
+    with scoped_registry() as registry:
+        walk_checker = CompiledAssertionChecker(design, attempt_tensor=False)
+    demoted = [
+        c
+        for c in walk_checker.engine_choices.values()
+        if c["attempt_engine"] == "walk" and c["attempt_reason"] == "attempt tensor disabled"
+    ]
+    assert demoted, "attempt_tensor=False must demote at least one assertion"
+    key = labeled("sva.attempt_fallback", "attempt tensor disabled")
+    assert registry.counter(key) == len(demoted)
+    assert walk_checker.engine_report()["attempt_fallback_reasons"][
+        "attempt tensor disabled"
+    ] == len(demoted)
+
+
 # ---------------------------------------------------------------------- #
 # the run-report CLI
 # ---------------------------------------------------------------------- #
@@ -412,6 +445,9 @@ def _write_sample_trace(path) -> None:
     registry.inc("runtime.cache.misses", 1)
     registry.inc("sva.lower.vectorised", 2)
     registry.inc(labeled("sva.vector_fallback", "width 64 exceeds limit"))
+    registry.inc("sva.attempt.tensor", 2)
+    registry.inc("sva.attempt.walk", 1)
+    registry.inc(labeled("sva.attempt_fallback", "attempt tensor disabled"))
     write_trace(path, tracer, metrics=registry, meta={"kind": "test"})
 
 
@@ -423,6 +459,8 @@ def test_cli_summarize_renders_a_run_report(tmp_path, capsys):
     assert "run report" in out
     assert "pipeline" in out and "hit rate" in out
     assert "width 64 exceeds limit" in out
+    assert "attempt engines" in out and "tensor 2" in out
+    assert "attempt tensor disabled" in out
 
 
 def test_cli_export_chrome_writes_next_to_the_trace(tmp_path):

@@ -42,12 +42,16 @@ def outcome_fields(outcome):
 def assert_reports_identical(design, trace):
     interp = AssertionChecker(design).check(trace)
     compiled = CheckerBackend(design, backend="compiled").check(trace)
+    walk = CompiledAssertionChecker(design, attempt_tensor=False).check(trace)
     closure = CompiledAssertionChecker(design, vectorise=False).check(trace)
     assert sorted(interp.outcomes) == sorted(compiled.outcomes) == sorted(closure.outcomes)
     for name in interp.outcomes:
         assert outcome_fields(interp.outcomes[name]) == outcome_fields(
             compiled.outcomes[name]
         ), f"assertion '{name}' diverges between checker backends"
+        assert outcome_fields(interp.outcomes[name]) == outcome_fields(
+            walk.outcomes[name]
+        ), f"assertion '{name}' diverges on the walk (attempt_tensor=False) path"
         assert outcome_fields(interp.outcomes[name]) == outcome_fields(
             closure.outcomes[name]
         ), f"assertion '{name}' diverges on the closure (vectorise=False) path"
@@ -82,10 +86,13 @@ def test_family_outcomes_identical(family):
     assert_reports_identical(design, Simulator(design).run(vectors))
 
 
-@pytest.mark.parametrize("backend", ["compiled", "closure", "interp"])
+@pytest.mark.parametrize("backend", ["compiled", "walk", "closure", "interp"])
 def test_check_batch_matches_per_trace_check(backend):
     """One batched pass over several seed traces (the verifier's shape) must
-    be outcome-identical to checking each trace individually, in order."""
+    be outcome-identical to checking each trace individually, in order.
+
+    The ``compiled`` leg exercises the stacked (seed x cycle) tensor pass;
+    ragged trace lengths make the padding/masking load-bearing."""
     checked = 0
     for family in FAMILIES[:8]:
         _, design = augmented_design(family, prefix=f"batch_{backend}")
@@ -93,11 +100,15 @@ def test_check_batch_matches_per_trace_check(backend):
             continue
         if backend == "closure":
             checker = CompiledAssertionChecker(design, vectorise=False)
+        elif backend == "walk":
+            checker = CompiledAssertionChecker(design, attempt_tensor=False)
         else:
             checker = CheckerBackend(design, backend=backend)
         traces = [
             Simulator(design).run(
-                StimulusGenerator(design, seed=40 + index).mixed_stimulus(random_cycles=24).vectors
+                StimulusGenerator(design, seed=40 + index)
+                .mixed_stimulus(random_cycles=24 - 7 * index)
+                .vectors
             )
             for index in range(3)
         ]

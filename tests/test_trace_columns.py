@@ -1,19 +1,25 @@
 """Tests for the columnar trace layer and the vectorised checking engine.
 
-Three contracts are pinned here:
+Four contracts are pinned here:
 
 * ``Trace.columns()`` / ``DiffTrace.columns()`` (diff-derived and
   simulator-recorded) agree element-for-element with the row-oriented
-  sampled values, and a quiet design's DiffTrace builds its columns
-  without materialising per-cycle sample dicts;
-* the vectorised checker path is outcome-identical to the per-cycle
-  closure path and the tree-walking oracle across every template family
-  and for injected mutants (including failing reports), and actually
-  engages (this suite fails if the vector lowering silently refuses
-  everything);
+  sampled values, are memoised per trace (invalidated on append), and a
+  quiet design's DiffTrace builds its columns without materialising
+  per-cycle sample dicts;
+* the four checking engines -- attempt tensor, vectorised series + Python
+  walk, per-cycle closures, tree-walking oracle -- are outcome-identical
+  across every template family and for injected mutants (including
+  failing reports), and the tensor actually engages (this suite fails if
+  the lowering silently refuses everything);
+* adversarial attempt shapes (dense antecedent starts, attempts spanning
+  the trace end, ``disable iff`` pulses mid-attempt, pre-trace ``$past``)
+  and ragged-length stacked batches stay verdict-identical too;
 * the ``Trace.render`` fixes: no name truncation, clear error for unknown
   names.
 """
+
+import pickle
 
 import numpy as np
 import pytest
@@ -177,16 +183,24 @@ def test_wide_signals_use_object_columns_and_closure_fallback():
 # --------------------------------------------------------------------------- #
 
 
-def assert_three_way_identical(design, trace):
+def assert_four_way_identical(design, trace):
+    """attempt-tensor vs vectorised+walk vs closure vs tree-walker."""
     oracle = AssertionChecker(design).check(trace)
-    vectorised = CompiledAssertionChecker(design).check(trace)
+    tensor = CompiledAssertionChecker(design).check(trace)
+    walk = CompiledAssertionChecker(design, attempt_tensor=False).check(trace)
     closure = CompiledAssertionChecker(design, vectorise=False).check(trace)
-    assert sorted(oracle.outcomes) == sorted(vectorised.outcomes) == sorted(closure.outcomes)
+    assert (
+        sorted(oracle.outcomes)
+        == sorted(tensor.outcomes)
+        == sorted(walk.outcomes)
+        == sorted(closure.outcomes)
+    )
     for name in oracle.outcomes:
         a = oracle.outcomes[name].comparison_key()
-        b = vectorised.outcomes[name].comparison_key()
-        c = closure.outcomes[name].comparison_key()
-        assert a == b == c, f"assertion '{name}' diverges between checking paths"
+        b = tensor.outcomes[name].comparison_key()
+        c = walk.outcomes[name].comparison_key()
+        d = closure.outcomes[name].comparison_key()
+        assert a == b == c == d, f"assertion '{name}' diverges between checking paths"
 
 
 @pytest.mark.parametrize("family", FAMILIES, ids=[f.name for f in FAMILIES])
@@ -203,8 +217,8 @@ def test_vectorised_outcomes_identical(family):
     # The vectorised path must engage on both diff-backed and dict-backed
     # traces (different columns() implementations).
     diff_trace = simulate(design, seed=12, cycles=32, record_columns=True)
-    assert_three_way_identical(design, diff_trace)
-    assert_three_way_identical(design, simulate(design, seed=13, cycles=32).materialized())
+    assert_four_way_identical(design, diff_trace)
+    assert_four_way_identical(design, simulate(design, seed=13, cycles=32).materialized())
 
 
 def test_vectorised_mutant_outcomes_identical():
@@ -223,7 +237,7 @@ def test_vectorised_mutant_outcomes_identical():
                 trace = simulate(buggy.design, seed=9, record_columns=True)
             except SimulationError:
                 continue
-            assert_three_way_identical(buggy.design, trace)
+            assert_four_way_identical(buggy.design, trace)
             checked += 1
             if not AssertionChecker(buggy.design).check(trace).passed:
                 failing += 1
@@ -241,6 +255,246 @@ def test_check_assertion_public_entry_point():
     spec = design.assertions[0]
     outcome = oracle.check_assertion(spec, trace)
     assert outcome.comparison_key() == oracle.check(trace).outcomes[spec.name].comparison_key()
+
+
+def test_attempt_tensor_engages_and_is_observable():
+    """Vectorised assertions run the tensor by default, and the demotions
+    (knob off, closure series) are named in the engine report."""
+    _, design = augmented_design(FAMILIES[0], prefix="eng")
+    if design is None or not design.assertions:
+        pytest.skip("family yields no checkable assertions")
+    tensor = CompiledAssertionChecker(design)
+    report = tensor.engine_report()
+    assert report["attempt_engines"]["tensor"] > 0
+    for choice in tensor.engine_choices.values():
+        if choice["engine"] == "vectorised":
+            assert choice["attempt_engine"] == "tensor"
+            assert choice["attempt_reason"] is None
+    walk = CompiledAssertionChecker(design, attempt_tensor=False)
+    for choice in walk.engine_choices.values():
+        if choice["engine"] == "vectorised":
+            assert choice["attempt_engine"] == "walk"
+            assert choice["attempt_reason"] == "attempt tensor disabled"
+    assert walk.engine_report()["attempt_fallback_reasons"].get(
+        "attempt tensor disabled", 0
+    ) > 0
+    closure = CompiledAssertionChecker(design, vectorise=False)
+    for choice in closure.engine_choices.values():
+        if choice["engine"] == "closure":
+            assert choice["attempt_engine"] == "walk"
+            assert choice["attempt_reason"].startswith("series engine is closure")
+    assert closure.engine_report()["attempt_engines"]["tensor"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# adversarial attempt shapes and ragged stacked batches
+# --------------------------------------------------------------------------- #
+
+
+ADVERSARIAL_SOURCE = """
+module adversarial(
+    input wire clk,
+    input wire rst,
+    input wire req,
+    input wire [3:0] data,
+    output reg [3:0] acc
+);
+    always @(posedge clk) begin
+        if (rst) acc <= 4'd0;
+        else acc <= acc + data;
+    end
+    // Dense antecedent starts: with req held high, every cycle opens an
+    // attempt whose multi-element antecedent overlaps its neighbours'.
+    property p_dense;
+        @(posedge clk) disable iff (rst) req ##1 req |-> ##1 req ##2 req;
+    endproperty
+    a_dense: assert property (p_dense);
+    // Deep $past: the first three cycles compare against pre-trace x.
+    property p_past;
+        @(posedge clk) disable iff (rst) req |=> data != $past(data, 3);
+    endproperty
+    a_past: assert property (p_past);
+    // Long consequent tail: late attempts always span the trace end.
+    property p_tail;
+        @(posedge clk) req ##2 req |-> ##1 req ##3 req ##3 req;
+    endproperty
+    a_tail: assert property (p_tail);
+    // No antecedent: every non-disabled cycle is checked directly.
+    property p_flat;
+        @(posedge clk) disable iff (rst) !req || data <= 4'd15;
+    endproperty
+    a_flat: assert property (p_flat);
+endmodule
+"""
+
+
+def adversarial_design():
+    result = compile_source(ADVERSARIAL_SOURCE)
+    assert result.ok and result.design is not None, result.render()
+    return result.design
+
+
+def adversarial_trace(design, cycles, hold=True, pulse_at=()):
+    """A trace with dense req runs, optional mid-trace disable pulses."""
+    vectors = []
+    for i in range(cycles):
+        vectors.append(
+            {
+                "rst": 1 if i in pulse_at else 0,
+                # hold=True keeps req high (dense overlapping attempts);
+                # otherwise req toggles in runs of three against one low.
+                "req": 1 if hold or (i % 4) != 3 else 0,
+                "data": (5 * i + 2) % 16,
+            }
+        )
+    return Simulator(design).run(vectors)
+
+
+def test_adversarial_attempt_shapes_four_way_identical():
+    design = adversarial_design()
+    tensor = CompiledAssertionChecker(design)
+    assert all(
+        choice["attempt_engine"] == "tensor"
+        for choice in tensor.engine_choices.values()
+    ), tensor.engine_choices
+    traces = [
+        # Dense starts, attempts spanning the trace end (long tails).
+        adversarial_trace(design, 20),
+        # Disable pulses mid-attempt: spans crossing cycles 6 and 13 flip
+        # from fail/pass to disabled, exactly once per bucket transition.
+        adversarial_trace(design, 24, pulse_at=(6, 13)),
+        # Sparse req with pulses: vacuous/pending/disabled all populated.
+        adversarial_trace(design, 17, hold=False, pulse_at=(2, 15)),
+        # Shorter than the deepest $past: pre-trace unknowns dominate.
+        adversarial_trace(design, 3),
+        # Degenerate single-cycle and empty traces.
+        adversarial_trace(design, 1),
+        adversarial_trace(design, 0),
+    ]
+    for trace in traces:
+        assert_four_way_identical(design, trace)
+    # The shapes must actually exercise every bucket somewhere, or this
+    # test has no teeth.
+    oracle = AssertionChecker(design)
+    totals = {"failures": 0, "vacuous": 0, "pending": 0, "disabled": 0, "passes": 0}
+    for trace in traces:
+        for outcome in oracle.check(trace).outcomes.values():
+            totals["failures"] += len(outcome.failures)
+            totals["vacuous"] += outcome.vacuous
+            totals["pending"] += outcome.pending
+            totals["disabled"] += outcome.disabled
+            totals["passes"] += outcome.passes
+    assert all(count > 0 for count in totals.values()), totals
+
+
+def test_ragged_stacked_batch_matches_per_trace_and_oracle():
+    """check_batch over ragged-length traces (the stacked 2-D path) must be
+    outcome-identical to per-trace checks and to the tree-walker."""
+    design = adversarial_design()
+    checker = CompiledAssertionChecker(design)
+    oracle = AssertionChecker(design)
+    traces = [
+        adversarial_trace(design, 23, pulse_at=(5,)),
+        adversarial_trace(design, 7),
+        adversarial_trace(design, 0),
+        adversarial_trace(design, 16, hold=False, pulse_at=(9, 10)),
+        adversarial_trace(design, 1),
+    ]
+    batched = checker.check_batch(traces)
+    assert len(batched) == len(traces)
+    for trace, via_batch in zip(traces, batched):
+        single = checker.check(trace)
+        reference = oracle.check(trace)
+        assert sorted(via_batch.outcomes) == sorted(reference.outcomes)
+        for name in reference.outcomes:
+            assert (
+                via_batch.outcomes[name].comparison_key()
+                == single.outcomes[name].comparison_key()
+                == reference.outcomes[name].comparison_key()
+            ), f"assertion '{name}' diverges on the stacked batch path"
+
+
+def test_stacked_batch_on_template_families():
+    """Seed-stacked batches across template families stay verdict-identical."""
+    checked = 0
+    for family in FAMILIES[:6]:
+        _, design = augmented_design(family, prefix="stack")
+        if design is None or not design.assertions:
+            continue
+        checker = CompiledAssertionChecker(design)
+        traces = [
+            simulate(design, seed=60 + i, cycles=12 + 9 * i, record_columns=True)
+            for i in range(3)
+        ]
+        batched = checker.check_batch(traces)
+        oracle = AssertionChecker(design)
+        for trace, via_batch in zip(traces, batched):
+            reference = oracle.check(trace)
+            for name in reference.outcomes:
+                assert (
+                    via_batch.outcomes[name].comparison_key()
+                    == reference.outcomes[name].comparison_key()
+                ), f"assertion '{name}' diverges on the stacked batch path"
+        checked += 1
+    assert checked >= 3
+
+
+# --------------------------------------------------------------------------- #
+# columns memoisation
+# --------------------------------------------------------------------------- #
+
+
+def test_columns_are_memoised_per_name_tuple():
+    design = compile_source(QUIET_SOURCE).design
+    trace = Simulator(design).run([{"a": 5}] * 10)
+    assert trace.columns_cached(["a"]) is None
+    first = trace.columns(["a"])
+    assert trace.columns(["a"]) is first
+    assert trace.columns_cached(["a"]) is first
+    # A different name tuple is a different memo entry.
+    both = trace.columns(["a", "b"])
+    assert both is not first
+    assert trace.columns(["a", "b"]) is both
+    assert trace.columns(["a"]) is first
+
+
+def test_columns_memo_invalidated_on_append():
+    from repro.sim.trace import Trace, TraceSample
+    from repro.sim.values import LogicValue
+
+    def sample(cycle, value):
+        held = {"a": LogicValue.from_int(value, 4)}
+        return TraceSample(cycle=cycle, pre_edge=held, post_edge=held)
+
+    trace = Trace(signals=["a"])
+    trace.append(sample(0, 3))
+    first = trace.columns(["a"])
+    assert first.values["a"].tolist() == [3]
+    trace.append(sample(1, 9))
+    rebuilt = trace.columns(["a"])
+    assert rebuilt is not first
+    assert rebuilt.values["a"].tolist() == [3, 9]
+
+
+def test_difftrace_columns_memo_invalidated_by_recording():
+    design = compile_source(QUIET_SOURCE).design
+    trace = Simulator(design).run([{"a": 5}] * 6)
+    first = trace.columns(["a", "b"])
+    assert trace.columns(["a", "b"]) is first
+    # Recording one more cycle through the DiffTrace API must invalidate.
+    trace.append_diffs({}, {})
+    rebuilt = trace.columns(["a", "b"])
+    assert rebuilt is not first
+    assert rebuilt.cycles == first.cycles + 1
+
+
+def test_columns_memo_dropped_on_pickle():
+    design = compile_source(QUIET_SOURCE).design
+    trace = Simulator(design).run([{"a": 5}] * 6).materialized()
+    built = trace.columns(["a"])
+    restored = pickle.loads(pickle.dumps(trace))
+    assert "_columns_memo" not in restored.__dict__
+    assert restored.columns(["a"]).values["a"].tolist() == built.values["a"].tolist()
 
 
 # --------------------------------------------------------------------------- #
