@@ -177,6 +177,23 @@ class ArtifactStore:
             self.put(key, entry)
         return entry
 
+    def dataflow(self, design: ElaboratedDesign):
+        """The design's signal dataflow graph, via the LRU.
+
+        Content-addressed like the other lowered artifacts: two designs
+        with equal fingerprints share one graph, so the verifier's screen
+        pays graph construction once per base design rather than once per
+        candidate.
+        """
+        from repro.analyze.dfg import SignalDfg
+
+        key = f"dfg:{self.fingerprint(design)}"
+        entry = self.get(key)
+        if entry is None:
+            entry = SignalDfg(design)
+            self.put(key, entry)
+        return entry
+
     # ------------------------------------------------------------------ #
     # the on-disk elaboration tier
     # ------------------------------------------------------------------ #

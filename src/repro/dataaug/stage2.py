@@ -13,7 +13,10 @@ For every sample that survived Stage 1:
 4. every surviving mutant is simulated against the validated SVAs.  Mutants
    that trigger at least one assertion failure become SVA-Bug entries (with
    the captured failure log); mutants that keep all assertions happy become
-   Verilog-Bug entries.
+   Verilog-Bug entries.  With ``Stage2Config.static_screen = "cone"``,
+   mutants whose edit is provably outside every assertion's cone of
+   influence are classified as Verilog-Bug entries directly -- no assertion
+   can observe such an edit -- without paying for the simulation.
 """
 
 from __future__ import annotations
@@ -77,6 +80,14 @@ class Stage2Config:
     job_timeout: Optional[float] = None
     #: Executions charged to a sample's job before it is quarantined/raised.
     max_attempts: int = 1
+    #: Static screening of injected mutants: "off" simulates every compiling
+    #: mutant (the historical path); "cone" classifies mutants whose edit is
+    #: provably outside every validated assertion's cone of influence as
+    #: Verilog-Bug entries *without simulating* -- no assertion can observe
+    #: such an edit, so it can never become an SVA-Bug entry.  Changes which
+    #: pipeline path produces each entry, so it is part of
+    #: :meth:`content_fingerprint`.
+    static_screen: str = "off"
 
     def content_fingerprint(self) -> str:
         """Every config field that can change a per-sample result.
@@ -102,6 +113,7 @@ class Stage2Config:
                 self.checker_backend,
                 self.job_timeout,
                 self.max_attempts,
+                self.static_screen,
             )
         )
 
@@ -312,11 +324,38 @@ class Stage2Runner:
             base_checker = None
         bugs = self._sample_injector(sample).inject(sample.name, augmented_golden, golden_design)
         result.injected_bugs += len(bugs)
+        golden_dfg = (
+            store.dataflow(golden_design) if self._config.static_screen == "cone" else None
+        )
         for index, bug in enumerate(bugs):
             buggy_compile = compile_source(bug.buggy_source)
             if not buggy_compile.ok or buggy_compile.design is None:
                 result.rejected_not_compiling += 1
                 continue
+            if golden_dfg is not None:
+                from repro.analyze.cone import cone_screen
+                from repro.obs import get_registry
+
+                decision = cone_screen(golden_dfg, store.dataflow(buggy_compile.design))
+                if decision.skip:
+                    # The edit is invisible to every validated assertion, so
+                    # this mutant can never fail one: it is a Verilog-Bug
+                    # entry by construction, no simulation needed.
+                    get_registry().inc("stage2.cone_skips")
+                    result.verilog_bug.append(
+                        VerilogBugEntry(
+                            name=f"{sample.name}_vb{index}",
+                            spec=sample.spec,
+                            buggy_source=bug.buggy_source,
+                            golden_line=bug.golden_line,
+                            buggy_line=bug.buggy_line,
+                            line_number=bug.line_number,
+                            edit_kind=bug.edit_kind,
+                            is_conditional=bug.is_conditional,
+                            description=bug.description,
+                        )
+                    )
+                    continue
             buggy_compiled = store.compiled_design(
                 buggy_compile.design, base=base_compiled
             )

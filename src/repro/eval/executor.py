@@ -36,6 +36,9 @@ class VerificationJob:
     #: Assertion-checker backend each worker verifies with (outcome-identical
     #: across backends; "interp" forces the differential oracle).
     checker_backend: str = "auto"
+    #: Static screening mode (see :class:`~repro.eval.verifier.VerifierConfig`):
+    #: "off" | "cone" | "lint" | "full".
+    static_screen: str = "off"
 
 
 @dataclass
@@ -71,6 +74,7 @@ def _run_job(job: VerificationJob, context) -> ShardResult:
             cycles=job.cycles,
             checker_backend=job.checker_backend,
             artifact_mode=artifact_mode,
+            static_screen=job.static_screen,
         ),
         cache=cache,
         artifacts=artifacts,

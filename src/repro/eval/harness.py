@@ -78,6 +78,11 @@ class EvalConfig:
     #: byte-identical for either mode and any tier.
     artifact_mode: str = "incremental"
     artifact_dir: Optional[Path] = None
+    #: Static screening mode for verification workers ("off" | "cone" |
+    #: "lint" | "full"; see :class:`~repro.eval.verifier.VerifierConfig`).
+    #: The cone tier is verdict-preserving by construction; screened runs
+    #: additionally mark each verdict's ``provenance``.
+    static_screen: str = "off"
 
     @property
     def k(self) -> int:
@@ -316,6 +321,7 @@ class EvalHarness:
                     seeds=seeds,
                     cycles=cycles,
                     checker_backend=config.checker_backend,
+                    static_screen=config.static_screen,
                 )
             )
             responses_per_case.append(responses)

@@ -84,6 +84,12 @@ class RepairVerdict:
     first_failure_cycle: Optional[int] = None
     exercised: bool = False  # some assertion's antecedent matched on some seed
     detail: str = ""
+    #: How the verdict was produced: "simulated" (the full compile +
+    #: simulate + check loop), "cone_skip" (the static screen proved the
+    #: edit invisible to every assertion and returned the memoised base
+    #: verdict), or "static_reject" (the lint screen rejected the candidate
+    #: without simulating; ``status`` is then also "static_reject").
+    provenance: str = "simulated"
 
     @property
     def passed(self) -> bool:
@@ -100,6 +106,7 @@ class RepairVerdict:
             "first_failure_cycle": self.first_failure_cycle,
             "exercised": self.exercised,
             "detail": self.detail,
+            "provenance": self.provenance,
         }
 
     @classmethod
@@ -114,6 +121,7 @@ class RepairVerdict:
             first_failure_cycle=payload.get("first_failure_cycle"),
             exercised=bool(payload.get("exercised", False)),
             detail=str(payload.get("detail", "")),
+            provenance=str(payload.get("provenance", "simulated")),
         )
 
 
@@ -133,6 +141,22 @@ class VerifierConfig:
     #: part of the verdict cache key: both modes are byte-identical in
     #: verdicts, pinned by the differential tests.
     artifact_mode: str = "incremental"
+    #: Static screening in front of the simulator:
+    #:
+    #: * ``"off"`` -- every candidate simulates (the historical path).
+    #: * ``"cone"`` -- candidates whose edit is provably outside every
+    #:   assertion's cone of influence return the case's memoised base
+    #:   verdict without simulating (sound: see
+    #:   :func:`repro.analyze.cone.cone_screen`).
+    #: * ``"lint"`` -- candidates that *introduce* error-class structural
+    #:   breakage (fresh combinational loop, newly undriven signal feeding
+    #:   an assertion cone) are rejected with status ``static_reject``
+    #:   without simulating (validated by the screened benchmark leg).
+    #: * ``"full"`` -- cone first, then lint.
+    #:
+    #: Any mode other than "off" gets its own verdict-cache keyspace, so
+    #: screened outcomes can never be served to unscreened runs.
+    static_screen: str = "off"
 
 
 class SemanticVerifier:
@@ -166,6 +190,11 @@ class SemanticVerifier:
         #: Per buggy source: its (compiled design, checker) base artifacts,
         #: either of which may be None (uncompilable source / no base yet).
         self._bases: dict[str, tuple] = {}
+        #: Screening state: elaborated designs per source text and the base
+        #: (unpatched) verdict per (source, seeds, cycles) -- what cone_skip
+        #: returns in place of simulating an invisible edit.
+        self._designs: dict[str, object] = {}
+        self._base_verdicts: dict[tuple, RepairVerdict] = {}
 
     # ------------------------------------------------------------------ #
     # fix application
@@ -221,9 +250,11 @@ class SemanticVerifier:
         # A forced backend gets its own cache keyspace: re-running with the
         # "interp" differential oracle must actually re-check, not be served
         # a compiled run's cached verdicts (which would mask any divergence).
-        version = VERIFIER_VERSION
-        if self.config.checker_backend != "auto":
-            version = f"{VERIFIER_VERSION}+{self.config.checker_backend}"
+        # Screened runs are partitioned the same way: a cone_skip or
+        # static_reject entry must never answer an unscreened lookup.
+        version = self._unscreened_version()
+        if self.config.static_screen != "off":
+            version = f"{version}+screen:{self.config.static_screen}"
         key = verdict_key(patched, seeds, cycles, self.config.reset_cycles, version)
         verdict = self._memo.get(key)
         if verdict is not None:
@@ -236,6 +267,12 @@ class SemanticVerifier:
                 self._memo[key] = verdict
             else:
                 get_registry().inc("eval.verdict_cache.misses")
+        if verdict is None and self.config.static_screen != "off":
+            verdict = self._static_screen(buggy_source, patched, seeds, cycles)
+            if verdict is not None:
+                self._memo[key] = verdict
+                if self.cache is not None:
+                    self.cache.put(key, verdict.to_dict())
         if verdict is None:
             base = self._base_artifacts(buggy_source)
             verdict = self.verify_source(patched, seeds, cycles=cycles, base=base)
@@ -275,6 +312,113 @@ class SemanticVerifier:
         result = (base_compiled, base_checker)
         self._bases[buggy_source] = result
         return result
+
+    # ------------------------------------------------------------------ #
+    # static screening (VerifierConfig.static_screen != "off")
+    # ------------------------------------------------------------------ #
+
+    def _unscreened_version(self) -> str:
+        """The verdict-key version an unscreened run of this config uses."""
+        if self.config.checker_backend != "auto":
+            return f"{VERIFIER_VERSION}+{self.config.checker_backend}"
+        return VERIFIER_VERSION
+
+    def _design_of(self, source: str):
+        """Elaborate ``source`` for screening, memoised per source text."""
+        if source in self._designs:
+            return self._designs[source]
+        if self.artifacts is not None:
+            design, _ = self.artifacts.elaborate_source(source, persist=False)
+        else:
+            result = compile_source(source)
+            design = result.design if result.ok else None
+        self._designs[source] = design
+        return design
+
+    def _dfg_of(self, design):
+        if self.artifacts is not None:
+            return self.artifacts.dataflow(design)
+        from repro.analyze.dfg import SignalDfg
+
+        return SignalDfg(design)
+
+    def _base_verdict(self, buggy_source: str, seeds: tuple, cycles: int) -> RepairVerdict:
+        """The buggy base's own simulated verdict (what cone_skip returns).
+
+        Produced by the same unscreened pipeline a no-op candidate would
+        run, and cached under the *unscreened* keyspace: it is a genuine
+        simulation result, shared with (and byte-identical to) what a
+        ``static_screen="off"`` run of the same source would compute.
+        """
+        memo_key = (buggy_source, seeds, cycles)
+        verdict = self._base_verdicts.get(memo_key)
+        if verdict is not None:
+            return verdict
+        key = verdict_key(
+            buggy_source, seeds, cycles, self.config.reset_cycles, self._unscreened_version()
+        )
+        if self.cache is not None:
+            stored = self.cache.get(key)
+            if stored is not None:
+                get_registry().inc("eval.verdict_cache.hits")
+                verdict = RepairVerdict.from_dict(stored)
+        if verdict is None:
+            base = self._base_artifacts(buggy_source)
+            verdict = self.verify_source(buggy_source, seeds, cycles=cycles, base=base)
+            if self.cache is not None:
+                self.cache.put(key, verdict.to_dict())
+        self._base_verdicts[memo_key] = verdict
+        return verdict
+
+    def _static_screen(
+        self, buggy_source: str, patched_source: str, seeds: tuple, cycles: int
+    ) -> Optional[RepairVerdict]:
+        """Try to decide the candidate without simulating it.
+
+        Returns ``None`` when the screen cannot decide (the candidate then
+        takes the normal simulation path, whose verdict is byte-identical
+        to an unscreened run's).  The cone tier is sound; the lint tier is
+        validated empirically by the screened benchmark leg.
+        """
+        from repro.analyze.cone import cone_screen, lint_screen
+
+        mode = self.config.static_screen
+        base_design = self._design_of(buggy_source)
+        patched_design = self._design_of(patched_source)
+        if base_design is None or patched_design is None:
+            # Compile failures keep the normal path so details stay
+            # byte-identical to unscreened runs.
+            return None
+        registry = get_registry()
+        with phase("verify.screen"):
+            base_dfg = self._dfg_of(base_design)
+            patched_dfg = self._dfg_of(patched_design)
+            if mode in ("cone", "full"):
+                decision = cone_screen(base_dfg, patched_dfg)
+                if decision.overlap:
+                    registry.inc("analyze.cone.overlap")
+                if decision.skip:
+                    base_verdict = self._base_verdict(buggy_source, seeds, cycles)
+                    # Refuse to skip onto anything but a clean simulation
+                    # outcome: a sim_error or compile_fail base says the
+                    # *base* is broken, not that the equality argument holds.
+                    if base_verdict.status in ("pass", "assertion_fail"):
+                        registry.inc("analyze.cone.skip")
+                        verdict = RepairVerdict.from_dict(base_verdict.to_dict())
+                        verdict.provenance = "cone_skip"
+                        return verdict
+            if mode in ("lint", "full"):
+                rejections = lint_screen(base_dfg, patched_dfg)
+                if rejections:
+                    registry.inc("analyze.screen.reject")
+                    return RepairVerdict(
+                        status="static_reject",
+                        seeds=seeds,
+                        cycles=cycles,
+                        detail="; ".join(r.message for r in rejections),
+                        provenance="static_reject",
+                    )
+        return None
 
     def verify_source(
         self,

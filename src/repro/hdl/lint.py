@@ -6,6 +6,12 @@ fail verdict plus diagnostics.  The data-augmentation pipeline (Stage 1 and
 Stage 2 of the paper) uses this exactly the way the paper uses ``iverilog``:
 to reject syntactically broken corpus entries and to discard injected bugs
 that merely break compilation instead of triggering an assertion.
+
+The individual semantic checks live in :mod:`repro.analyze.passes` as
+registered passes with stable ids; :func:`lint_design` runs exactly the
+``lint``-tier subset, so every diagnostic a rejected corpus entry reports
+names the pass that fired (its ``code``) and the advisory analysis passes
+can never change what compiles.
 """
 
 from __future__ import annotations
@@ -15,8 +21,17 @@ from typing import Optional
 
 from repro.hdl import ast
 from repro.hdl.elaborate import ElaboratedDesign, elaborate
-from repro.hdl.errors import DiagnosticSink, Diagnostic, HdlError, Severity
+from repro.hdl.errors import Diagnostic, DiagnosticSink, HdlError, Severity
 from repro.hdl.parser import parse_source
+
+__all__ = [
+    "KNOWN_SYSTEM_FUNCTIONS",
+    "KNOWN_SYSTEM_TASKS",
+    "CompileResult",
+    "compile_source",
+    "lint_design",
+    "syntax_ok",
+]
 
 #: System functions the simulator and checker understand.
 KNOWN_SYSTEM_FUNCTIONS: frozenset[str] = frozenset(
@@ -84,153 +99,11 @@ def compile_source(text: str, top: Optional[str] = None) -> CompileResult:
 
 
 def lint_design(design: ElaboratedDesign, sink: Optional[DiagnosticSink] = None) -> DiagnosticSink:
-    """Run semantic checks over an elaborated design, appending to ``sink``."""
-    sink = sink if sink is not None else DiagnosticSink()
-    _check_undeclared_uses(design, sink)
-    _check_input_drivers(design, sink)
-    _check_multiple_drivers(design, sink)
-    _check_undriven_signals(design, sink)
-    _check_system_functions(design, sink)
-    _check_assignment_styles(design, sink)
-    return sink
+    """Run the compile-gate semantic passes, appending to ``sink``."""
+    # Imported lazily: repro.hdl initialises before repro.analyze can.
+    from repro.analyze.passes import lint_passes, run_passes
 
-
-# --------------------------------------------------------------------------- #
-# individual checks
-# --------------------------------------------------------------------------- #
-
-
-def _iter_all_expressions(design: ElaboratedDesign):
-    for assign in design.continuous_assigns:
-        yield assign.line, assign.target
-        yield assign.line, assign.value
-    for block in design.comb_blocks + design.seq_blocks:
-        for statement in block.body.walk():
-            if isinstance(statement, ast.Assign):
-                yield statement.line, statement.target
-                yield statement.line, statement.value
-            elif isinstance(statement, ast.If):
-                yield statement.line, statement.condition
-            elif isinstance(statement, ast.Case):
-                yield statement.line, statement.subject
-                for item in statement.items:
-                    for label in item.labels:
-                        yield statement.line, label
-    for assertion in design.assertions:
-        sequences = [assertion.body.consequent]
-        if assertion.body.antecedent is not None:
-            sequences.append(assertion.body.antecedent)
-        for sequence in sequences:
-            for element in sequence.elements:
-                yield assertion.line, element.expr
-        if assertion.disable_iff is not None:
-            yield assertion.line, assertion.disable_iff
-
-
-def _check_undeclared_uses(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
-    declared = set(design.signals) | set(design.parameters)
-    for line, expr in _iter_all_expressions(design):
-        for name in expr.identifiers():
-            if name not in declared:
-                sink.error(
-                    f"use of undeclared signal '{name}'",
-                    line=line,
-                    code="undeclared-signal",
-                )
-
-
-def _check_input_drivers(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
-    for assign in design.continuous_assigns:
-        for target in ast._target_names(assign.target):
-            signal = design.signals.get(target)
-            if signal is not None and signal.is_input:
-                sink.error(
-                    f"input port '{target}' cannot be driven inside the module",
-                    line=assign.line,
-                    code="input-driven",
-                )
-    for block in design.comb_blocks + design.seq_blocks:
-        for node in block.body.walk():
-            if isinstance(node, ast.Assign):
-                for target in ast._target_names(node.target):
-                    signal = design.signals.get(target)
-                    if signal is not None and signal.is_input:
-                        sink.error(
-                            f"input port '{target}' cannot be driven inside the module",
-                            line=node.line,
-                            code="input-driven",
-                        )
-
-
-def _check_multiple_drivers(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
-    continuous_targets: dict[str, int] = {}
-    for assign in design.continuous_assigns:
-        for target in ast._target_names(assign.target):
-            continuous_targets[target] = continuous_targets.get(target, 0) + 1
-    procedural_targets: set[str] = set()
-    for block in design.comb_blocks + design.seq_blocks:
-        procedural_targets.update(ast.assignment_targets(block.body))
-    for name, count in continuous_targets.items():
-        signal = design.signals.get(name)
-        if signal is None:
-            continue
-        if count > 1 and signal.width == 1:
-            sink.warning(
-                f"signal '{name}' has multiple continuous drivers",
-                code="multiple-drivers",
-            )
-        if name in procedural_targets:
-            sink.error(
-                f"signal '{name}' is driven both continuously and procedurally",
-                code="mixed-drivers",
-            )
-
-
-def _check_undriven_signals(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
-    driven: set[str] = set(design.driver_lines)
-    for signal in design.signals.values():
-        if signal.is_input:
-            continue
-        if signal.name not in driven:
-            read_somewhere = any(
-                signal.name in expr.identifiers() for _, expr in _iter_all_expressions(design)
-            )
-            severity = "undriven-used" if read_somewhere else "undriven-unused"
-            sink.warning(
-                f"signal '{signal.name}' is never assigned",
-                line=signal.line,
-                code=severity,
-            )
-
-
-def _check_system_functions(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
-    for line, expr in _iter_all_expressions(design):
-        for node in expr.walk():
-            if isinstance(node, ast.SystemCall) and node.name not in KNOWN_SYSTEM_FUNCTIONS:
-                sink.error(
-                    f"unsupported system function '{node.name}'",
-                    line=line,
-                    code="unknown-system-function",
-                )
-
-
-def _check_assignment_styles(design: ElaboratedDesign, sink: DiagnosticSink) -> None:
-    for block in design.seq_blocks:
-        for node in block.body.walk():
-            if isinstance(node, ast.Assign) and node.blocking:
-                sink.warning(
-                    "blocking assignment inside clocked always block",
-                    line=node.line,
-                    code="blocking-in-seq",
-                )
-    for block in design.comb_blocks:
-        for node in block.body.walk():
-            if isinstance(node, ast.Assign) and not node.blocking:
-                sink.warning(
-                    "non-blocking assignment inside combinational always block",
-                    line=node.line,
-                    code="nonblocking-in-comb",
-                )
+    return run_passes(design, passes=lint_passes(), sink=sink)
 
 
 def syntax_ok(text: str) -> bool:

@@ -34,6 +34,7 @@ LOCALISATION_FEATURE_NAMES: tuple[str, ...] = (
     "spec_overlap",
     "line_length",
     "distance_to_assertion",
+    "lint_density",
 )
 
 #: names of the fix-ranking features (pattern weights are handled separately).
@@ -44,6 +45,7 @@ FIX_FEATURE_NAMES: tuple[str, ...] = (
     "reuses_existing_line",
     "touches_failing_signal",
     "edit_size",
+    "cone_overlap_gain",
 )
 
 _DECLARATION_PREFIXES = ("wire", "reg", "logic", "integer", "parameter", "localparam",
@@ -90,6 +92,10 @@ class LocalisationFeatureExtractor:
         spec_overlap = self._spec_overlap(case, identifiers)
         line_length = min(len(code) / 80.0, 1.5)
         distance = self._distance_to_assertion(case, number)
+        # Advisory static-analysis diagnostics on this line (dead writes,
+        # width truncation, inferred latches, ...): injected bugs trip them
+        # far more often than golden lines do.
+        lint_density = min(case.analysis_diagnostics_by_line.get(number, 0), 3) / 3.0
 
         return np.array(
             [
@@ -105,6 +111,7 @@ class LocalisationFeatureExtractor:
                 spec_overlap,
                 line_length,
                 distance,
+                lint_density,
             ]
         )
 
@@ -171,7 +178,10 @@ class FixFeatureExtractor:
             bool(set(line_identifiers(candidate_code)) & case.asserted_signals)
         )
         edit_size = self._edit_size(original_code, candidate_code)
-        return np.array([1.0, lm_gain, spec_gain, reuses, touches_failing, edit_size])
+        cone_gain = self._cone_overlap_gain(case, original_code, candidate_code)
+        return np.array(
+            [1.0, lm_gain, spec_gain, reuses, touches_failing, edit_size, cone_gain]
+        )
 
     def extract_batch(
         self, case: RepairCase, original_line: str, candidates: Sequence[str]
@@ -192,6 +202,26 @@ class FixFeatureExtractor:
         if not identifiers:
             return 0.0
         return len(identifiers & case.spec_tokens) / len(identifiers)
+
+    @staticmethod
+    def _cone_fraction(cone: set[str], code: str) -> float:
+        identifiers = set(line_identifiers(code))
+        if not identifiers:
+            return 0.0
+        return len(identifiers & cone) / len(identifiers)
+
+    def _cone_overlap_gain(self, case: RepairCase, original: str, candidate: str) -> float:
+        """How much the rewrite moves the line *into* the failing cone.
+
+        The cone is the failing assertions' cone of influence per the
+        dataflow graph (clock and ``disable iff`` signals included).  A fix
+        that swaps cone signals for unrelated ones is moving the logic away
+        from what the assertion observes -- usually the wrong direction.
+        """
+        cone = case.failing_cone
+        if not cone:
+            return 0.0
+        return self._cone_fraction(cone, candidate) - self._cone_fraction(cone, original)
 
     def _reuses_existing_line(self, case: RepairCase, candidate: str, original: str) -> bool:
         """Does the candidate replicate another line of the design (a common idiom)?"""

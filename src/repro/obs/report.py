@@ -243,6 +243,36 @@ def render_report(data: TraceData, top: int = 10) -> str:
             ):
                 lines.append(f"    {value:>4}  {label}")
 
+    analyze_counters = {
+        key: value for key, value in sorted(counters.items()) if key.startswith("analyze.")
+    }
+    consumed.update(analyze_counters)
+    consumed.add("stage2.cone_skips")
+    if analyze_counters or counters.get("stage2.cone_skips", 0):
+        lines += ["", "static analysis:"]
+        skips = counters.get("analyze.cone.skip", 0)
+        overlaps = counters.get("analyze.cone.overlap", 0)
+        rejects = counters.get("analyze.screen.reject", 0)
+        if skips or overlaps or rejects:
+            lines.append(
+                f"  verifier screen: {skips} cone skips · {overlaps} cone overlaps"
+                f" · {rejects} lint rejects"
+            )
+        stage2_skips = counters.get("stage2.cone_skips", 0)
+        if stage2_skips:
+            lines.append(f"  stage2 mutants classified without simulation: {stage2_skips}")
+        pass_counts = {
+            key[len("analyze.pass."):]: value
+            for key, value in analyze_counters.items()
+            if key.startswith("analyze.pass.")
+        }
+        if pass_counts:
+            lines.append("  pass diagnostics:")
+            for pass_id, value in sorted(
+                pass_counts.items(), key=lambda item: (-item[1], item[0])
+            ):
+                lines.append(f"    {value:>4}  {pass_id}")
+
     fault_values = {name: counters.get(name, 0) for name in _FAULT_COUNTERS}
     consumed.update(_FAULT_COUNTERS)
     if any(fault_values.values()):

@@ -475,3 +475,67 @@ def test_cli_export_chrome_writes_next_to_the_trace(tmp_path):
 def test_cli_reports_a_missing_trace(tmp_path, capsys):
     assert obs_main(["summarize", str(tmp_path / "absent.jsonl")]) == 2
     assert "absent.jsonl" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# static-analysis telemetry (repro.analyze)
+# ---------------------------------------------------------------------- #
+
+
+def test_summarize_renders_static_analysis_section(tmp_path, capsys):
+    trace = tmp_path / "screened.jsonl"
+    tracer = Tracer()
+    with tracer.span("eval"):
+        pass
+    registry = MetricsRegistry()
+    registry.inc("analyze.cone.skip", 5)
+    registry.inc("analyze.cone.overlap", 2)
+    registry.inc("analyze.screen.reject", 1)
+    registry.inc("analyze.pass.dead-code", 3)
+    registry.inc("analyze.pass.width-truncation", 1)
+    registry.inc("stage2.cone_skips", 4)
+    write_trace(trace, tracer, metrics=registry, meta={"kind": "eval"})
+
+    assert obs_main(["summarize", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "static analysis:" in out
+    assert "5 cone skips" in out and "2 cone overlaps" in out and "1 lint rejects" in out
+    assert "stage2 mutants classified without simulation: 4" in out
+    assert "dead-code" in out and "width-truncation" in out
+    # Consumed by the dedicated section: never duplicated under "other counters".
+    assert "analyze.cone.skip:" not in out
+    assert "stage2.cone_skips:" not in out
+
+
+def test_screened_verifier_emits_counters_and_identical_verdicts():
+    from repro.eval.verifier import CandidateFix, SemanticVerifier, VerifierConfig
+
+    source = """
+module obsx (input wire clk, input wire en, output reg [3:0] n, output wire hi);
+    assign hi = (n > 4'd8);
+    always @(posedge clk) begin
+        if (en) n <= n + 4'd1;
+        else n <= 4'd0;
+    end
+    a_zero: assert property (@(posedge clk) !en |=> n == 4'd0);
+endmodule
+"""
+    fix = CandidateFix(line_number=3, fixed_line="    assign hi = (n > 4'd9);")
+    with scoped_registry() as registry:
+        screened = SemanticVerifier(VerifierConfig(cycles=16, static_screen="full"))
+        verdict = screened.verify(source, fix, (3, 4))
+        assert verdict.provenance == "cone_skip"
+        assert registry.counter("analyze.cone.skip") == 1
+        # The per-pass phase timings ride the standard histogram channel, so
+        # `summarize` lists them under "phase durations" with no extra wiring.
+        snapshot = registry.snapshot()
+        assert "verify.screen_s" in snapshot["histograms"]
+
+    with scoped_registry():
+        off = SemanticVerifier(VerifierConfig(cycles=16, static_screen="off"))
+        baseline = off.verify(source, fix, (3, 4))
+    screened_payload = verdict.to_dict()
+    baseline_payload = baseline.to_dict()
+    assert screened_payload.pop("provenance") == "cone_skip"
+    assert baseline_payload.pop("provenance") == "simulated"
+    assert screened_payload == baseline_payload
